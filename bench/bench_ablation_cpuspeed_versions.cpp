@@ -1,0 +1,62 @@
+// Ablation (§5.1): CPUSPEED 1.1 (0.1 s interval) vs 1.2.1 (2 s interval),
+// plus a threshold sweep — the paper's planned future work on tuning the
+// daemon for codes that perform poorly.
+//
+// Paper: "CPUSPEED version 1.1 always chooses the highest CPU speed for
+// most NPB codes without significant energy savings" — the short interval
+// makes any compute spike jump straight back to full speed.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf("%s", analysis::heading(
+      "Ablation: CPUSPEED version (polling interval) and thresholds").c_str());
+
+  analysis::TextTable t({"code", "v1.1 (0.1s) delay/energy", "v1.2.1 (2s) delay/energy",
+                         "v1.2.1 mean f (MHz)"});
+  for (const auto& name : {"FT", "CG", "MG", "EP"}) {
+    auto workload = *apps::npb_by_name(name, args.scale);
+    core::RunConfig base_cfg = bench::base_config(args);
+    base_cfg.static_mhz = 1400;
+    const auto base = core::run_trials(workload, base_cfg, args.trials);
+
+    auto run_daemon = [&](core::CpuspeedParams params) {
+      core::RunConfig cfg = bench::base_config(args);
+      cfg.daemon = params;
+      return core::run_trials(workload, cfg, args.trials);
+    };
+    const auto v11 = run_daemon(core::CpuspeedParams::v1_1());
+    const auto v121 = run_daemon(core::CpuspeedParams::v1_2_1());
+
+    t.add_row({workload.name,
+               analysis::fmt(v11.delay_s / base.delay_s) + " / " +
+                   analysis::fmt(v11.energy_j / base.energy_j),
+               analysis::fmt(v121.delay_s / base.delay_s) + " / " +
+                   analysis::fmt(v121.energy_j / base.energy_j),
+               std::to_string(static_cast<int>(v121.dvs_transitions))  + " transitions"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("Threshold sweep for MG (usage_threshold; v1.2.1 interval):\n");
+  auto mg = *apps::npb_by_name("MG", args.scale);
+  core::RunConfig base_cfg = bench::base_config(args);
+  base_cfg.static_mhz = 1400;
+  const auto base = core::run_trials(mg, base_cfg, args.trials);
+  for (double usage : {0.60, 0.75, 0.85, 0.95}) {
+    core::RunConfig cfg = bench::base_config(args);
+    core::CpuspeedParams p = core::CpuspeedParams::v1_2_1();
+    p.usage_threshold = usage;
+    if (p.max_threshold <= usage) p.max_threshold = usage + 0.04;
+    cfg.daemon = p;
+    const auto run = core::run_trials(mg, cfg, args.trials);
+    std::printf("  usage<%.2f: delay %.2f energy %.2f\n", usage,
+                run.delay_s / base.delay_s, run.energy_j / base.energy_j);
+  }
+  std::printf("\nLower thresholds keep MG fast (no savings); higher thresholds "
+              "trade large delay for energy — the paper's MG/BT pathology.\n");
+  return 0;
+}

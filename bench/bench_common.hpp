@@ -1,0 +1,114 @@
+// Shared helpers for the per-table/per-figure bench binaries.
+//
+// Every bench accepts:
+//   --scale <x>   workload scale factor (default 0.5; 1.0 = paper-scale
+//                 minutes-long runs)
+//   --trials <n>  repeated measurements per point (default 1; the paper
+//                 used >= 3)
+//   --seed <n>    base RNG seed
+// or the PCD_SCALE / PCD_TRIALS environment variables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "apps/npb.hpp"
+#include "core/runner.hpp"
+#include "core/strategies.hpp"
+
+namespace pcd::bench {
+
+struct BenchArgs {
+  double scale = 0.5;
+  int trials = 1;
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    if (const char* e = std::getenv("PCD_SCALE")) a.scale = std::atof(e);
+    if (const char* e = std::getenv("PCD_TRIALS")) a.trials = std::atoi(e);
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--scale") == 0) a.scale = std::atof(argv[i + 1]);
+      if (std::strcmp(argv[i], "--trials") == 0) a.trials = std::atoi(argv[i + 1]);
+      if (std::strcmp(argv[i], "--seed") == 0) a.seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (a.scale <= 0) a.scale = 0.5;
+    if (a.trials < 1) a.trials = 1;
+    return a;
+  }
+};
+
+inline core::RunConfig base_config(const BenchArgs& args) {
+  core::RunConfig c;
+  c.seed = args.seed;
+  (void)args;
+  return c;
+}
+
+/// The five NEMO frequencies, ascending.
+inline std::vector<int> nemo_freqs() { return {600, 800, 1000, 1200, 1400}; }
+
+}  // namespace pcd::bench
+
+#include <algorithm>
+
+#include "analysis/reference.hpp"
+
+namespace pcd::bench {
+
+/// Shared body of Figures 6 and 7: EXTERNAL control driven by a fused
+/// metric, reported next to what the paper's own Table 2 data selects.
+inline void run_external_metric_figure(core::Metric metric, const BenchArgs& args) {
+  struct Row {
+    std::string code;
+    int freq;
+    core::EnergyDelay at;
+    int paper_freq = 0;
+    core::EnergyDelay paper_at;
+    bool paper_known = false;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& workload : apps::all_npb(args.scale)) {
+    auto sweep = core::sweep_static(workload, base_config(args), nemo_freqs(),
+                                    args.trials);
+    const auto crescendo = sweep.normalized();
+    const auto choice = core::select_operating_point(crescendo, metric);
+
+    const auto* ref = analysis::table2_row(workload.name);
+    Row row;
+    row.code = workload.name;
+    row.freq = choice.freq_mhz;
+    row.at = choice.at;
+    if (ref != nullptr && ref->energy_known) {
+      core::Crescendo paper_crescendo;
+      for (const auto& [f, ed] : ref->at) paper_crescendo[f] = ed;
+      const auto paper_choice = core::select_operating_point(paper_crescendo, metric);
+      row.paper_freq = paper_choice.freq_mhz;
+      row.paper_at = paper_choice.at;
+      row.paper_known = true;
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.at.delay < b.at.delay; });
+
+  analysis::TextTable t({"code", "chosen f", "norm delay", "norm energy",
+                         "paper choice", "paper delay/energy"});
+  for (const auto& r : rows) {
+    t.add_row({r.code, std::to_string(r.freq) + " MHz", analysis::fmt(r.at.delay),
+               analysis::fmt(r.at.energy),
+               r.paper_known ? std::to_string(r.paper_freq) + " MHz" : "n/a",
+               r.paper_known ? analysis::fmt(r.paper_at.delay) + " / " +
+                                   analysis::fmt(r.paper_at.energy)
+                             : "n/a"});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace pcd::bench

@@ -1,0 +1,39 @@
+// Figure 2: the energy-delay "crescendo" for swim on a single NEMO node —
+// normalized delay and energy at each static frequency.
+//
+// Paper observations: delay rises from <1% at 1200 MHz to ~25% at 600 MHz;
+// energy decreases steadily (8% saving at 1200 MHz with <1% delay).
+#include <cstdio>
+
+#include "apps/npb.hpp"
+#include "bench/bench_common.hpp"
+#include "core/strategies.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf("%s", analysis::heading(
+      "Figure 2: energy-delay crescendo for swim (single NEMO node)").c_str());
+
+  auto swim = apps::make_swim(args.scale);
+  auto sweep = core::sweep_static(swim, bench::base_config(args), bench::nemo_freqs(),
+                                  args.trials);
+  const auto crescendo = sweep.normalized();
+
+  analysis::TextTable t({"CPU speed", "normalized delay", "normalized energy"});
+  for (const auto& [freq, ed] : crescendo) {
+    t.add_row({std::to_string(freq) + " MHz", analysis::fmt(ed.delay),
+               analysis::fmt(ed.energy)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const auto& at1200 = crescendo.at(1200);
+  const auto& at600 = crescendo.at(600);
+  std::printf("at 1200 MHz: %.0f%% energy saving with %.1f%% delay increase "
+              "(paper: ~8%% saving, <1%% delay)\n",
+              100 * (1 - at1200.energy), 100 * (at1200.delay - 1));
+  std::printf("at  600 MHz: delay increase %.0f%% (paper: ~25%%)\n",
+              100 * (at600.delay - 1));
+  return 0;
+}

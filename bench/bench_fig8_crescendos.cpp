@@ -1,0 +1,40 @@
+// Figure 8: energy-delay crescendos of the eight NPB codes, grouped into
+// the paper's four categories (§5.2).
+#include <cstdio>
+
+#include "analysis/crescendo.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf("%s", analysis::heading(
+      "Figure 8: energy-delay crescendos and Type I-IV classification").c_str());
+
+  int matches = 0, total = 0;
+  for (const auto& workload : apps::all_npb(args.scale)) {
+    auto sweep = core::sweep_static(workload, bench::base_config(args),
+                                    bench::nemo_freqs(), args.trials);
+    const auto crescendo = sweep.normalized();
+
+    std::printf("%s\n", workload.name.c_str());
+    std::printf("  %-10s", "delay:");
+    for (const auto& [f, ed] : crescendo) std::printf(" %4d:%.2f", f, ed.delay);
+    std::printf("\n  %-10s", "energy:");
+    for (const auto& [f, ed] : crescendo) std::printf(" %4d:%.2f", f, ed.energy);
+
+    const auto type = analysis::classify_crescendo(crescendo);
+    const auto code2 = workload.name.substr(0, 2);
+    const auto paper_type = analysis::figure8_types().at(code2);
+    ++total;
+    matches += (type == paper_type);
+    std::printf("\n  type: %s (paper: %s)%s\n\n", analysis::to_string(type),
+                analysis::to_string(paper_type),
+                type == paper_type ? "" : "  <-- MISMATCH");
+  }
+  std::printf("classification agreement with the paper: %d/%d\n", matches, total);
+  std::printf("Paper: Type I = EP; Type II = BT, MG, LU; Type III = FT, CG, SP; "
+              "Type IV = IS.  Types III/IV save energy, I/II do not.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the simulator substrate itself:
+// event-queue throughput, coroutine process overhead, MPI message cost,
+// and end-to-end workload simulation rate.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "apps/npb.hpp"
+#include "core/runner.hpp"
+#include "machine/cluster.hpp"
+#include "mpi/comm.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+using namespace pcd;
+
+static void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(i, [&count] { ++count; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+static void BM_CoroutineDelayChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    auto proc = [](int hops) -> sim::Process {
+      for (int i = 0; i < hops; ++i) co_await sim::delay(1);
+    };
+    sim::spawn(e, proc(n));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1024)->Arg(16384);
+
+static void BM_MpiPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    machine::ClusterConfig cc;
+    cc.nodes = 2;
+    machine::Cluster cluster(e, cc);
+    mpi::Comm comm(cluster, {0, 1});
+    auto a = [&]() -> sim::Process {
+      for (int i = 0; i < 100; ++i) {
+        co_await comm.send(0, 1, 1, 1024);
+        co_await comm.recv(0, 1, 2);
+      }
+    };
+    auto b = [&]() -> sim::Process {
+      for (int i = 0; i < 100; ++i) {
+        co_await comm.recv(1, 0, 1);
+        co_await comm.send(1, 0, 2, 1024);
+      }
+    };
+    sim::spawn(e, a());
+    sim::spawn(e, b());
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_MpiPingPong);
+
+static void BM_FullWorkloadRun(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cg = apps::make_cg(0.05);
+    core::RunConfig cfg;
+    const auto r = core::run_workload(cg, cfg);
+    benchmark::DoNotOptimize(r.energy_j);
+  }
+}
+BENCHMARK(BM_FullWorkloadRun)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 2: energy-performance profiles of the NPB benchmarks.
+//
+// For each code, runs the CPUSPEED daemon ("auto") and every static
+// frequency, then prints normalized delay (top) and normalized energy
+// (bottom) per cell next to the paper's values.
+#include <cstdio>
+
+#include "analysis/reference.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf("%s", analysis::heading("Table 2: energy-performance profiles of NPB "
+                                      "(normalized delay / normalized energy)").c_str());
+  std::printf("scale=%.2f trials=%d (paper values in parentheses; paper energy for SP "
+              "not published)\n\n",
+              args.scale, args.trials);
+
+  const auto freqs = bench::nemo_freqs();
+  analysis::TextTable table({"code", "auto", "600 MHz", "800 MHz", "1000 MHz",
+                             "1200 MHz", "1400 MHz"});
+
+  for (const auto& workload : apps::all_npb(args.scale)) {
+    const auto* ref = analysis::table2_row(workload.name);
+
+    // Static sweep (EXTERNAL settings).
+    auto sweep = core::sweep_static(workload, bench::base_config(args), freqs,
+                                    args.trials);
+    const auto crescendo = sweep.normalized();
+    const double base_delay = sweep.points.back().result.delay_s;
+    const double base_energy = sweep.points.back().result.energy_j;
+
+    // CPUSPEED daemon ("auto" column).
+    core::RunConfig auto_cfg = bench::base_config(args);
+    auto_cfg.daemon = core::CpuspeedParams::v1_2_1();
+    const auto auto_run = core::run_trials(workload, auto_cfg, args.trials);
+    const double auto_delay = auto_run.delay_s / base_delay;
+    const double auto_energy = auto_run.energy_j / base_energy;
+
+    std::vector<std::string> delay_row{workload.name};
+    std::vector<std::string> energy_row{""};
+    auto cell = [&](double measured, double paper, bool known) {
+      char buf[64];
+      if (known) {
+        std::snprintf(buf, sizeof buf, "%.2f (%.2f)", measured, paper);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.2f ( -- )", measured);
+      }
+      return std::string(buf);
+    };
+    delay_row.push_back(cell(auto_delay, ref ? ref->auto_daemon.delay : 0, ref));
+    energy_row.push_back(cell(auto_energy, ref ? ref->auto_daemon.energy : 0,
+                              ref && ref->energy_known));
+    for (int f : freqs) {
+      const auto& ed = crescendo.at(f);
+      const auto* paper = ref && ref->at.count(f) ? &ref->at.at(f) : nullptr;
+      delay_row.push_back(cell(ed.delay, paper ? paper->delay : 0, paper != nullptr));
+      energy_row.push_back(cell(ed.energy, paper ? paper->energy : 0,
+                                paper != nullptr && ref->energy_known));
+    }
+    table.add_row(delay_row);
+    table.add_row(energy_row);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Row format: normalized delay on top, normalized energy below "
+              "(both relative to 1400 MHz), as in the paper's Table 2.\n");
+  return 0;
+}

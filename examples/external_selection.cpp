@@ -1,0 +1,60 @@
+// EXTERNAL control with metric-driven operating-point selection:
+// sweep the static frequencies, print the crescendo, and show what each
+// fused metric (EDP / ED2P / ED3P) and the performance-constrained
+// minimum-energy rule would choose.
+//
+//   ./external_selection [code] [scale] [max-slowdown%]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/npb.hpp"
+#include "core/runner.hpp"
+#include "core/strategies.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  const std::string code = argc > 1 ? argv[1] : "CG";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double max_slowdown = (argc > 3 ? std::atof(argv[3]) : 5.0) / 100.0;
+
+  auto workload = apps::npb_by_name(code, scale);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", code.c_str());
+    return 1;
+  }
+
+  std::printf("profiling %s as a black box across static frequencies...\n\n",
+              workload->name.c_str());
+  auto sweep = core::sweep_static(*workload, core::RunConfig{});
+  const auto crescendo = sweep.normalized();
+
+  std::printf("%-10s %-12s %-12s %-8s %-8s %-8s\n", "freq", "norm delay",
+              "norm energy", "EDP", "ED2P", "ED3P");
+  for (const auto& [freq, ed] : crescendo) {
+    std::printf("%-10d %-12.3f %-12.3f %-8.3f %-8.3f %-8.3f\n", freq, ed.delay,
+                ed.energy, core::fused_value(core::Metric::EDP, ed),
+                core::fused_value(core::Metric::ED2P, ed),
+                core::fused_value(core::Metric::ED3P, ed));
+  }
+
+  std::printf("\nselections:\n");
+  for (auto metric : {core::Metric::EDP, core::Metric::ED2P, core::Metric::ED3P}) {
+    const auto choice = core::select_operating_point(crescendo, metric);
+    std::printf("  %-5s -> %4d MHz (delay %.2f, energy %.2f)\n",
+                core::to_string(metric), choice.freq_mhz, choice.at.delay,
+                choice.at.energy);
+  }
+  const auto constrained = core::select_delay_constrained(crescendo, max_slowdown);
+  if (constrained) {
+    std::printf("  min-energy within %.0f%% slowdown -> %4d MHz "
+                "(delay %.2f, energy %.2f)\n",
+                100 * max_slowdown, constrained->freq_mhz, constrained->at.delay,
+                constrained->at.energy);
+  } else {
+    std::printf("  no operating point satisfies a %.0f%% slowdown bound\n",
+                100 * max_slowdown);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "analysis/crescendo.hpp"
+
+#include <stdexcept>
+
+namespace pcd::analysis {
+
+CrescendoType classify_crescendo(const core::Crescendo& crescendo) {
+  if (crescendo.size() < 2) throw std::invalid_argument("crescendo needs >= 2 points");
+  // The lowest frequency shows the asymptotic behaviour most clearly.
+  const auto& low = crescendo.begin()->second;
+  const double delay_increase = low.delay - 1.0;
+  const double energy_saving = 1.0 - low.energy;
+
+  if (energy_saving < 0.05) return CrescendoType::I;
+  if (delay_increase < 0.08 && energy_saving > 0.15) return CrescendoType::IV;
+  // Rate comparison: II when delay rises at least as fast as energy falls.
+  if (delay_increase >= 0.8 * energy_saving) return CrescendoType::II;
+  return CrescendoType::III;
+}
+
+}  // namespace pcd::analysis

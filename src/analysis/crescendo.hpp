@@ -1,0 +1,17 @@
+// Energy-delay crescendo classification (paper §5.2, Figure 8).
+#pragma once
+
+#include "analysis/reference.hpp"
+#include "core/metrics.hpp"
+
+namespace pcd::analysis {
+
+/// Classifies a normalized crescendo into the paper's four types using the
+/// behaviour at the lowest operating point:
+///   Type I:   near-zero energy benefit, linear performance decrease;
+///   Type II:  energy reduction and delay increase at about the same rate;
+///   Type III: energy falls faster than delay rises;
+///   Type IV:  near-zero performance decrease, linear energy saving.
+CrescendoType classify_crescendo(const core::Crescendo& crescendo);
+
+}  // namespace pcd::analysis

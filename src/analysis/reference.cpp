@@ -1,0 +1,110 @@
+#include "analysis/reference.hpp"
+
+namespace pcd::analysis {
+
+namespace {
+
+Table2Row row(std::string code, core::EnergyDelay auto_col,
+              std::initializer_list<std::pair<int, core::EnergyDelay>> cols,
+              bool energy_known = true) {
+  Table2Row r;
+  r.code = std::move(code);
+  r.auto_daemon = auto_col;
+  for (const auto& [f, ed] : cols) r.at[f] = ed;
+  r.energy_known = energy_known;
+  return r;
+}
+
+// {energy, delay} — note EnergyDelay stores energy first.
+std::vector<Table2Row> build_table2() {
+  return {
+      row("BT.C.9", {0.89, 1.36},
+          {{600, {0.79, 1.52}}, {800, {0.82, 1.27}}, {1000, {0.87, 1.14}},
+           {1200, {0.96, 1.05}}, {1400, {1.00, 1.00}}}),
+      row("CG.C.8", {0.65, 1.14},
+          {{600, {0.65, 1.14}}, {800, {0.72, 1.08}}, {1000, {0.80, 1.04}},
+           {1200, {0.93, 1.02}}, {1400, {1.00, 1.00}}}),
+      row("EP.C.8", {0.97, 1.01},
+          {{600, {1.15, 2.35}}, {800, {1.03, 1.75}}, {1000, {1.02, 1.40}},
+           {1200, {1.03, 1.17}}, {1400, {1.00, 1.00}}}),
+      row("FT.C.8", {0.76, 1.04},
+          {{600, {0.62, 1.13}}, {800, {0.70, 1.07}}, {1000, {0.80, 1.04}},
+           {1200, {0.93, 1.02}}, {1400, {1.00, 1.00}}}),
+      row("IS.C.8", {0.75, 1.02},
+          {{600, {0.68, 1.04}}, {800, {0.73, 1.01}}, {1000, {0.75, 0.91}},
+           {1200, {0.94, 1.03}}, {1400, {1.00, 1.00}}}),
+      row("LU.C.8", {0.96, 1.01},
+          {{600, {0.79, 1.58}}, {800, {0.82, 1.32}}, {1000, {0.88, 1.18}},
+           {1200, {0.95, 1.07}}, {1400, {1.00, 1.00}}}),
+      row("MG.C.8", {0.87, 1.32},
+          {{600, {0.76, 1.39}}, {800, {0.79, 1.21}}, {1000, {0.85, 1.10}},
+           {1200, {0.97, 1.04}}, {1400, {1.00, 1.00}}}),
+      // SP's energy values are not printed in the paper's truncated table;
+      // delays are.  Energy entries carry the delay-only flag.
+      row("SP.C.9", {0.0, 1.13},
+          {{600, {0.0, 1.18}}, {800, {0.0, 1.08}}, {1000, {0.0, 1.03}},
+           {1200, {0.0, 0.99}}, {1400, {0.0, 1.00}}},
+          /*energy_known=*/false),
+  };
+}
+
+}  // namespace
+
+const std::vector<Table2Row>& table2() {
+  static const std::vector<Table2Row> t = build_table2();
+  return t;
+}
+
+const Table2Row* table2_row(const std::string& code) {
+  for (const auto& r : table2()) {
+    if (r.code.rfind(code, 0) == 0 || code.rfind(r.code.substr(0, 2), 0) == 0) {
+      if (r.code.substr(0, 2) == code.substr(0, 2)) return &r;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<InternalRef>& figure11_ft() {
+  // §5.3.1: INTERNAL (1400/600) saves 36% with no noticeable delay;
+  // EXTERNAL 600 saves 38% at 13% delay; CPUSPEED saves 24% at 4% delay.
+  static const std::vector<InternalRef> v = {
+      {"internal(1400/600)", {0.64, 1.00}},
+      {"external(600)", {0.62, 1.13}},
+      {"cpuspeed(auto)", {0.76, 1.04}},
+  };
+  return v;
+}
+
+const std::vector<InternalRef>& figure14_cg() {
+  // §5.3.2: internal I (1200/800) saves 23% at 8% delay; internal II
+  // (1000/800) saves 16% at 8% delay; external 800 is 0.72/1.08.
+  static const std::vector<InternalRef> v = {
+      {"internal-I(1200/800)", {0.77, 1.08}},
+      {"internal-II(1000/800)", {0.84, 1.08}},
+      {"external(800)", {0.72, 1.08}},
+      {"cpuspeed(auto)", {0.65, 1.14}},
+  };
+  return v;
+}
+
+const char* to_string(CrescendoType t) {
+  switch (t) {
+    case CrescendoType::I: return "I";
+    case CrescendoType::II: return "II";
+    case CrescendoType::III: return "III";
+    case CrescendoType::IV: return "IV";
+  }
+  return "?";
+}
+
+const std::map<std::string, CrescendoType>& figure8_types() {
+  static const std::map<std::string, CrescendoType> m = {
+      {"EP", CrescendoType::I},  {"BT", CrescendoType::II},
+      {"MG", CrescendoType::II}, {"LU", CrescendoType::II},
+      {"FT", CrescendoType::III}, {"CG", CrescendoType::III},
+      {"SP", CrescendoType::III}, {"IS", CrescendoType::IV},
+  };
+  return m;
+}
+
+}  // namespace pcd::analysis

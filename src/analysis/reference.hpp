@@ -1,0 +1,43 @@
+// The paper's published numbers, embedded for side-by-side comparison in
+// every bench (EXPERIMENTS.md is generated from these plus our measurements).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace pcd::analysis {
+
+/// One row of the paper's Table 2: normalized delay/energy per CPU speed,
+/// plus the CPUSPEED ("auto") column.  SP's energy values are not printed
+/// in the paper ("Only partial results are shown"), so they are absent.
+struct Table2Row {
+  std::string code;                       // e.g. "FT.C.8"
+  core::EnergyDelay auto_daemon;          // CPUSPEED 1.2.1
+  std::map<int, core::EnergyDelay> at;    // 600..1400 MHz
+  bool energy_known = true;
+};
+
+/// All eight NPB rows of Table 2.
+const std::vector<Table2Row>& table2();
+
+/// Lookup by code prefix ("FT", "FT.C.8"); nullptr if unknown.
+const Table2Row* table2_row(const std::string& code);
+
+/// Figure 11 (FT) and Figure 14 (CG) INTERNAL-scheduling reference points.
+struct InternalRef {
+  std::string label;
+  core::EnergyDelay value;
+};
+const std::vector<InternalRef>& figure11_ft();
+const std::vector<InternalRef>& figure14_cg();
+
+/// §5.2's four crescendo categories, per code.
+enum class CrescendoType { I, II, III, IV };
+const char* to_string(CrescendoType t);
+const std::map<std::string, CrescendoType>& figure8_types();
+
+}  // namespace pcd::analysis

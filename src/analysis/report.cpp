@@ -1,0 +1,64 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pcd::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += (i == 0 ? "| " : " | ");
+      line += cells[i];
+      line.append(width[i] - cells[i].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string rule = "|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule.append(width[i] + 2, '-');
+    rule += "|";
+  }
+  rule += "\n";
+  std::string out = emit_row(headers_) + rule;
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string vs_paper(double measured, double paper, int precision) {
+  if (paper <= 0) return fmt(measured, precision) + " (paper n/a)";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f (paper %.*f, d=%+.*f)", precision, measured,
+                precision, paper, precision, measured - paper);
+  return buf;
+}
+
+std::string heading(const std::string& title) {
+  std::string out = "\n== " + title + " ==\n";
+  out += std::string(out.size() - 2, '-') + "\n";
+  return out;
+}
+
+}  // namespace pcd::analysis

@@ -1,0 +1,31 @@
+// Text-report helpers shared by the bench binaries: fixed-width tables and
+// paper-vs-measured comparison formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcd::analysis {
+
+/// Simple fixed-width ASCII table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision ("1.04").
+std::string fmt(double v, int precision = 2);
+
+/// "measured (paper Δ=+0.03)" comparison cell; paper < 0 means unknown.
+std::string vs_paper(double measured, double paper, int precision = 2);
+
+/// Section header with a rule, used by every bench for consistent output.
+std::string heading(const std::string& title);
+
+}  // namespace pcd::analysis

@@ -1,0 +1,46 @@
+// Synthetic replicas of the NAS Parallel Benchmarks (class C, 8/9 ranks, as
+// evaluated in the paper) plus swim and the PowerPack microbenchmarks.
+//
+// Each replica reproduces the code's phase structure — communication
+// pattern, communication-to-computation ratio, memory-boundedness, per-rank
+// asymmetry — calibrated so the simulated energy-delay profiles match the
+// shape of the paper's Table 2 (see apps/npb.cpp for the calibration
+// derivation and DESIGN.md §4 for the model).
+//
+// `scale` multiplies all phase durations and message volumes: 1.0 gives
+// minutes-scale runs comparable to the paper's methodology; tests use
+// smaller scales.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace pcd::apps {
+
+Workload make_ft(double scale = 1.0);  // 3-D FFT: alltoall-dominated
+Workload make_cg(double scale = 1.0);  // conjugate gradient: frequent sync, rank asymmetry
+Workload make_ep(double scale = 1.0);  // embarrassingly parallel: pure on-chip
+Workload make_is(double scale = 1.0);  // integer sort: bursty alltoallv (collision-prone)
+Workload make_lu(double scale = 1.0);  // LU: wavefront, frequent small messages
+Workload make_mg(double scale = 1.0);  // multigrid: memory-heavy, V-cycle exchanges
+Workload make_bt(double scale = 1.0);  // block-tridiagonal (9 ranks)
+Workload make_sp(double scale = 1.0);  // scalar-pentadiagonal (9 ranks)
+
+/// swim from SPEC 2000: the single-node memory-bound code of Figures 1–2.
+Workload make_swim(double scale = 1.0);
+
+/// PowerPack microbenchmarks (paper §4.4).
+Workload make_micro_cpu_bound(double scale = 1.0);
+Workload make_micro_memory_bound(double scale = 1.0);
+Workload make_micro_comm_bound(double scale = 1.0);
+
+/// All eight NPB codes in the paper's canonical naming order.
+std::vector<Workload> all_npb(double scale = 1.0);
+
+/// Lookup by code name ("FT", "cg", "FT.C.8", ...); nullopt if unknown.
+std::optional<Workload> npb_by_name(const std::string& name, double scale = 1.0);
+
+}  // namespace pcd::apps

@@ -1,0 +1,30 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcd::apps {
+
+sim::Op<> compute_phase(AppContext& ctx, int rank, double onchip_s, double mem_s,
+                        double mem_act) {
+  auto& cpu = ctx.comm->node(rank).cpu();
+  const double total = onchip_s + mem_s;
+  if (total <= 0) co_return;
+  const int slices = std::max(1, static_cast<int>(std::lround(total / ctx.slice_s)));
+  const double on_per = onchip_s / slices;
+  const double mem_per = mem_s / slices;
+  for (int i = 0; i < slices; ++i) {
+    if (on_per > 0) {
+      std::optional<trace::Tracer::Scope> sc;
+      if (ctx.tracer) sc.emplace(ctx.tracer->scope(rank, trace::Cat::Compute));
+      co_await cpu.run_onchip_seconds_at_max(on_per);
+    }
+    if (mem_per > 0) {
+      std::optional<trace::Tracer::Scope> sc;
+      if (ctx.tracer) sc.emplace(ctx.tracer->scope(rank, trace::Cat::MemStall));
+      co_await cpu.run_memstall(sim::from_seconds(mem_per), mem_act);
+    }
+  }
+}
+
+}  // namespace pcd::apps

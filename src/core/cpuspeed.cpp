@@ -1,0 +1,55 @@
+#include "core/cpuspeed.hpp"
+
+#include <algorithm>
+
+namespace pcd::core {
+
+CpuspeedDaemon::CpuspeedDaemon(sim::Engine& engine, machine::Node& node,
+                               CpuspeedParams params, sim::SimDuration start_offset)
+    : engine_(engine), node_(node), params_(params), start_offset_(start_offset) {}
+
+void CpuspeedDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  last_busy_ns_ = node_.cpu().busy_weighted_ns();
+  next_tick_ =
+      engine_.schedule_in(start_offset_ + sim::from_seconds(params_.interval_s),
+                          [this] { tick(); });
+}
+
+void CpuspeedDaemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (next_tick_) engine_.cancel(*next_tick_);
+  next_tick_.reset();
+}
+
+void CpuspeedDaemon::tick() {
+  ++polls_;
+  // poll %CPU-usage from "/proc/stat"
+  const double busy = node_.cpu().busy_weighted_ns();
+  const double usage =
+      std::clamp((busy - last_busy_ns_) / (params_.interval_s * 1e9), 0.0, 1.0);
+  last_busy_ns_ = busy;
+
+  const auto& table = node_.cpu().table();
+  const auto m = table.size() - 1;
+  std::size_t s = node_.cpu().op_index();
+  if (usage < params_.min_threshold) {
+    s = 0;
+  } else if (usage > params_.max_threshold) {
+    s = m;
+  } else if (usage < params_.usage_threshold) {
+    s = (s == 0) ? 0 : s - 1;
+  } else {
+    s = std::min(s + 1, m);
+  }
+  if (s != node_.cpu().op_index()) {
+    ++speed_changes_;
+    node_.set_cpuspeed(table.at(s).freq_mhz);
+  }
+  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.interval_s),
+                                   [this] { tick(); });
+}
+
+}  // namespace pcd::core

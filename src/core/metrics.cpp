@@ -1,0 +1,62 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+namespace pcd::core {
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::EDP: return "EDP";
+    case Metric::ED2P: return "ED2P";
+    case Metric::ED3P: return "ED3P";
+  }
+  return "?";
+}
+
+double fused_value(Metric m, const EnergyDelay& ed) {
+  switch (m) {
+    case Metric::EDP: return ed.energy * ed.delay;
+    case Metric::ED2P: return ed.energy * ed.delay * ed.delay;
+    case Metric::ED3P: return ed.energy * ed.delay * ed.delay * ed.delay;
+  }
+  return ed.energy;
+}
+
+double weighted_ed2p(const EnergyDelay& ed, double weight) {
+  return ed.energy * std::pow(ed.delay, 2.0 * weight);
+}
+
+OperatingChoice select_operating_point(const Crescendo& crescendo, Metric m) {
+  if (crescendo.empty()) throw std::invalid_argument("empty crescendo");
+  bool first = true;
+  OperatingChoice best;
+  for (const auto& [freq, ed] : crescendo) {
+    const double v = fused_value(m, ed);
+    const bool better =
+        first || v < best.value - 1e-12 ||
+        // Tie: "choose the point with best performance" (§5.2).
+        (std::abs(v - best.value) <= 1e-12 &&
+         (ed.delay < best.at.delay - 1e-12 ||
+          (std::abs(ed.delay - best.at.delay) <= 1e-12 && freq > best.freq_mhz)));
+    if (better) {
+      best = OperatingChoice{freq, ed, v};
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::optional<OperatingChoice> select_delay_constrained(const Crescendo& crescendo,
+                                                        double max_delay_increase) {
+  std::optional<OperatingChoice> best;
+  for (const auto& [freq, ed] : crescendo) {
+    if (ed.delay > 1.0 + max_delay_increase + 1e-12) continue;
+    if (!best || ed.energy < best->at.energy - 1e-12 ||
+        (std::abs(ed.energy - best->at.energy) <= 1e-12 && ed.delay < best->at.delay)) {
+      best = OperatingChoice{freq, ed, ed.energy};
+    }
+  }
+  return best;
+}
+
+}  // namespace pcd::core

@@ -1,0 +1,54 @@
+// Energy-performance efficiency metrics (paper §4.5) and operating-point
+// selection, including the "performance-constrained" selection the title
+// refers to.
+//
+// All energies and delays are normalized to the highest frequency
+// (no-DVS) run, exactly as the paper reports them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace pcd::core {
+
+/// Normalized (energy, delay) pair for one operating point.
+struct EnergyDelay {
+  double energy = 1.0;  // < 1 means energy savings
+  double delay = 1.0;   // > 1 means performance loss
+};
+
+/// Fused metrics: EDP for workstations, ED2P/ED3P put progressively more
+/// weight on performance (ED3P is what Figure 6 uses, ED2P Figure 7).
+enum class Metric { EDP, ED2P, ED3P };
+
+const char* to_string(Metric m);
+
+/// E * D^k for k = 1, 2, 3.
+double fused_value(Metric m, const EnergyDelay& ed);
+
+/// Cameron et al.'s weighted ED2P: E * D^(2w); w > 1 weights delay harder.
+double weighted_ed2p(const EnergyDelay& ed, double weight);
+
+/// A crescendo: normalized energy/delay per static frequency (MHz).
+using Crescendo = std::map<int, EnergyDelay>;
+
+struct OperatingChoice {
+  int freq_mhz = 0;
+  EnergyDelay at;
+  double value = 0;  // the fused metric at the chosen point
+};
+
+/// The paper's selection rule (§5.2): the operating point minimizing the
+/// fused metric; ties broken toward better performance (lower delay, then
+/// higher frequency).
+OperatingChoice select_operating_point(const Crescendo& crescendo, Metric m);
+
+/// Performance-constrained minimum-energy selection: the lowest-energy
+/// point whose delay increase stays within `max_delay_increase`
+/// (e.g. 0.05 = at most 5% slower).  nullopt if no point qualifies.
+std::optional<OperatingChoice> select_delay_constrained(const Crescendo& crescendo,
+                                                        double max_delay_increase);
+
+}  // namespace pcd::core

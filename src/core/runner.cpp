@@ -1,0 +1,206 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "mpi/comm.hpp"
+#include "sim/process.hpp"
+
+namespace pcd::core {
+
+namespace {
+
+struct Completion {
+  bool done = false;
+  sim::SimTime t_end = 0;
+  double energy_end = 0;
+};
+
+// Joins every rank process, then snapshots time/energy at the exact
+// completion instant and stops the daemons — before any later meter or
+// daemon event can advance the clock past the measurement window.
+sim::Process completion_watcher(std::vector<sim::Process>& ranks, sim::Engine& engine,
+                                machine::Cluster& cluster,
+                                std::vector<std::function<void()>>& stoppers,
+                                Completion* out) {
+  for (auto& p : ranks) co_await p;
+  out->t_end = engine.now();
+  out->energy_end = cluster.total_energy_joules();
+  for (auto& stop : stoppers) stop();
+  out->done = true;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+RunResult run_workload(const apps::Workload& workload, const RunConfig& config) {
+  sim::Engine engine;
+
+  machine::ClusterConfig cc = config.cluster;
+  // The paper reports total system energy of the nodes running the job
+  // (one battery per participating node); size the cluster accordingly.
+  cc.nodes = workload.ranks;
+  cc.seed = config.seed * 0x9e3779b97f4a7c15ULL + 0x1234567;
+  machine::Cluster cluster(engine, cc);
+
+  // --- measurement protocol (paper §4.2) ---
+  if (config.use_meters) {
+    for (int i = 0; i < cluster.size(); ++i) {
+      auto& b = cluster.node(i).battery();
+      b.recharge_full();   // 1) fully charge
+      b.disconnect_ac();   // 2) disconnect building power (via Baytech)
+      b.start_polling();
+    }
+    cluster.baytech().start_polling();
+    engine.run_until(engine.now() + 300 * sim::kSecond);  // 3) 5-min discharge
+  }
+
+  // --- strategy setup ---
+  if (config.static_mhz != 0) {
+    cluster.set_all_cpuspeed(config.static_mhz);  // EXTERNAL: psetcpuspeed
+    engine.run_until(engine.now() + sim::kMillisecond);  // settle transitions
+  }
+
+  std::vector<std::unique_ptr<CpuspeedDaemon>> daemons;
+  std::vector<std::unique_ptr<PhasePredictorDaemon>> predictors;
+  std::vector<std::function<void()>> stoppers;
+  if (config.daemon.has_value()) {
+    auto stagger_rng = cluster.rng_stream();
+    for (int i = 0; i < cluster.size(); ++i) {
+      const auto offset = static_cast<sim::SimDuration>(
+          stagger_rng.uniform(0.0, config.daemon->interval_s) * 1e9);
+      daemons.push_back(std::make_unique<CpuspeedDaemon>(engine, cluster.node(i),
+                                                         *config.daemon, offset));
+      daemons.back()->start();
+      stoppers.push_back([d = daemons.back().get()] { d->stop(); });
+    }
+  }
+  if (config.predictor.has_value()) {
+    auto stagger_rng = cluster.rng_stream();
+    for (int i = 0; i < cluster.size(); ++i) {
+      const auto offset = static_cast<sim::SimDuration>(
+          stagger_rng.uniform(0.0, config.predictor->interval_s) * 1e9);
+      predictors.push_back(std::make_unique<PhasePredictorDaemon>(
+          engine, cluster.node(i), *config.predictor, offset));
+      predictors.back()->start();
+      stoppers.push_back([d = predictors.back().get()] { d->stop(); });
+    }
+  }
+
+  std::unique_ptr<trace::Tracer> tracer;
+  if (config.collect_trace) {
+    tracer = std::make_unique<trace::Tracer>(engine, workload.ranks);
+  }
+
+  std::vector<int> node_ids(workload.ranks);
+  std::iota(node_ids.begin(), node_ids.end(), 0);
+  mpi::Comm comm(cluster, node_ids, mpi::CostParams{}, tracer.get());
+
+  apps::AppContext ctx;
+  ctx.comm = &comm;
+  ctx.tracer = tracer.get();
+  ctx.hooks = &config.hooks;
+  ctx.slice_s = config.slice_s;
+
+  // --- launch and run ---
+  const sim::SimTime t_start = engine.now();
+  const double e_start = cluster.total_energy_joules();
+  std::vector<double> acpi_start(cluster.size(), 0);
+  std::vector<double> acpi_end(cluster.size(), 0);
+  if (config.use_meters) {
+    for (int i = 0; i < cluster.size(); ++i) {
+      acpi_start[i] = cluster.node(i).battery().reported_remaining_mwh();
+    }
+    // The operator reads the batteries right at completion; register that
+    // read with the completion watcher so it happens at exactly t_end.
+    stoppers.push_back([&cluster, &acpi_end] {
+      for (int i = 0; i < cluster.size(); ++i) {
+        acpi_end[i] = cluster.node(i).battery().reported_remaining_mwh();
+        cluster.node(i).battery().stop_polling();
+      }
+    });
+  }
+
+  std::vector<sim::Process> rank_procs;
+  rank_procs.reserve(workload.ranks);
+  for (int r = 0; r < workload.ranks; ++r) {
+    rank_procs.push_back(sim::spawn(engine, workload.make_rank(ctx, r)));
+  }
+  Completion completion;
+  sim::spawn(engine,
+             completion_watcher(rank_procs, engine, cluster, stoppers, &completion));
+
+  while (!completion.done) {
+    if (engine.run(200'000) == 0) {
+      throw std::runtime_error("workload deadlocked: no events but ranks unfinished");
+    }
+  }
+
+  const sim::SimTime t_end = completion.t_end;
+  RunResult result;
+  result.workload = workload.name;
+  result.delay_s = sim::to_seconds(t_end - t_start);
+  result.energy_j = completion.energy_end - e_start;
+
+  if (config.use_meters) {
+    // Capacity differences were read at t_end by the completion watcher;
+    // staleness at both ends (each value is from the last 15-20 s refresh)
+    // largely cancels over long runs.
+    double acpi_mwh = 0;
+    for (int i = 0; i < cluster.size(); ++i) {
+      acpi_mwh += acpi_start[i] - acpi_end[i];
+    }
+    result.energy_acpi_j = acpi_mwh * 3.6;
+    // The Baytech unit reports completed one-minute windows; run the clock
+    // past the next report so the window containing t_end is available.
+    const sim::SimTime grace = t_end + 61 * sim::kSecond;
+    if (engine.now() < grace) engine.run_until(grace);
+    result.energy_baytech_j = cluster.baytech().estimate_energy_joules(t_start, t_end);
+    cluster.baytech().stop_polling();
+  }
+
+  for (int i = 0; i < cluster.size(); ++i) {
+    result.dvs_transitions += cluster.node(i).cpu().stats().transitions;
+    result.mean_utilization += cluster.node(i).cpu().busy_weighted_ns() /
+                               static_cast<double>(t_end - t_start) / cluster.size();
+  }
+  result.net_collisions = cluster.network().stats().collisions;
+  result.messages = comm.stats().messages;
+
+  if (tracer) {
+    result.profile = trace::analyze(*tracer);
+    result.timeline = trace::render_timeline(*tracer);
+  }
+  return result;
+}
+
+RunResult run_trials(const apps::Workload& workload, RunConfig config, int trials) {
+  if (trials < 1) throw std::invalid_argument("need at least one trial");
+  std::vector<RunResult> runs;
+  runs.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    RunConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(t) * 7919;
+    runs.push_back(run_workload(workload, c));
+  }
+  // Median delay/energy rejects outliers, mirroring the paper's repeated
+  // measurements.
+  RunResult out = runs.front();
+  std::vector<double> delays, energies;
+  for (const auto& r : runs) {
+    delays.push_back(r.delay_s);
+    energies.push_back(r.energy_j);
+  }
+  out.delay_s = median(delays);
+  out.energy_j = median(energies);
+  return out;
+}
+
+}  // namespace pcd::core

@@ -1,0 +1,80 @@
+// PowerPack: the measured-run orchestrator (paper §4).
+//
+// A run builds a fresh cluster, applies the requested DVS strategy
+// (CPUSPEED daemon, EXTERNAL static frequency, INTERNAL hooks), executes
+// the workload's rank processes, and measures delay + total system energy.
+// Energy comes from the exact per-node integrators; when `use_meters` is
+// set, the run additionally follows the paper's ACPI battery protocol
+// (charge / disconnect / 5-minute discharge / run / poll) and records the
+// Baytech cross-check, so measurement error is reproduced too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "core/cpuspeed.hpp"
+#include "core/predictor.hpp"
+#include "machine/cluster.hpp"
+#include "trace/profile.hpp"
+
+namespace pcd::core {
+
+struct RunConfig {
+  std::uint64_t seed = 1;
+
+  /// EXTERNAL control: set every node to this frequency before the run
+  /// (0 = leave at the boot default, i.e. full speed).
+  int static_mhz = 0;
+
+  /// CPUSPEED strategy: run one daemon per node with these parameters.
+  std::optional<CpuspeedParams> daemon;
+
+  /// Phase-predictor strategy (future-work extension): one predicting
+  /// daemon per node.  Mutually exclusive with `daemon`.
+  std::optional<PhasePredictorParams> predictor;
+
+  /// INTERNAL strategy: hooks invoked from inside the application at the
+  /// paper's insertion points.
+  apps::DvsHooks hooks;
+
+  /// Collect an MPE-style trace and attach the profile to the result.
+  bool collect_trace = false;
+
+  /// Follow the full ACPI/Baytech measurement protocol (adds a 5-minute
+  /// pre-discharge and meter polling; slower, quantized readings).
+  bool use_meters = false;
+
+  /// Cluster template; node count is raised to the workload's rank count.
+  machine::ClusterConfig cluster;
+
+  /// Compute-phase slice length (see AppContext).
+  double slice_s = 0.050;
+};
+
+struct RunResult {
+  std::string workload;
+  double delay_s = 0;        // wall time from launch to last rank completion
+  double energy_j = 0;       // exact total system energy over the run window
+  double energy_acpi_j = -1;    // as the ACPI protocol would report it
+  double energy_baytech_j = -1; // Baytech per-minute estimate
+  std::int64_t dvs_transitions = 0;
+  std::int64_t net_collisions = 0;
+  std::int64_t messages = 0;
+  /// Mean /proc-style CPU utilization across nodes over the run — what the
+  /// CPUSPEED daemon integrates; useful for diagnosing daemon behaviour.
+  double mean_utilization = 0;
+  std::optional<trace::TraceProfile> profile;
+  std::string timeline;  // rendered trace, if collected
+};
+
+/// Executes one measured run.
+RunResult run_workload(const apps::Workload& workload, const RunConfig& config = {});
+
+/// The paper's methodology: repeat >= `trials` times (different seeds) and
+/// take the median delay/energy to reject outliers.
+RunResult run_trials(const apps::Workload& workload, RunConfig config, int trials = 3);
+
+}  // namespace pcd::core

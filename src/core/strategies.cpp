@@ -1,0 +1,132 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "cpu/operating_point.hpp"
+
+namespace pcd::core {
+
+Crescendo StaticSweep::normalized() const {
+  if (points.empty()) throw std::invalid_argument("empty sweep");
+  const SweepPoint* base = nullptr;
+  for (const auto& p : points) {
+    if (p.freq_mhz == base_mhz) base = &p;
+  }
+  if (base == nullptr) throw std::invalid_argument("sweep missing the base frequency");
+  Crescendo c;
+  for (const auto& p : points) {
+    c[p.freq_mhz] = EnergyDelay{p.result.energy_j / base->result.energy_j,
+                                p.result.delay_s / base->result.delay_s};
+  }
+  return c;
+}
+
+StaticSweep sweep_static(const apps::Workload& workload, RunConfig config,
+                         std::vector<int> freqs, int trials) {
+  if (freqs.empty()) {
+    for (const auto& op : config.cluster.node.operating_points.points()) {
+      freqs.push_back(op.freq_mhz);
+    }
+  }
+  StaticSweep sweep;
+  sweep.base_mhz = *std::max_element(freqs.begin(), freqs.end());
+  for (int f : freqs) {
+    RunConfig c = config;
+    c.static_mhz = f;
+    sweep.points.push_back(SweepPoint{f, run_trials(workload, c, trials)});
+  }
+  return sweep;
+}
+
+ExternalDecision run_external(const apps::Workload& workload, const RunConfig& config,
+                              const StaticSweep& sweep, Metric metric) {
+  const auto choice = select_operating_point(sweep.normalized(), metric);
+  RunConfig c = config;
+  c.static_mhz = choice.freq_mhz;
+  ExternalDecision d;
+  d.choice = choice;
+  d.result = run_workload(workload, c);
+  return d;
+}
+
+apps::DvsHooks internal_phase_hooks(int high_mhz, int low_mhz) {
+  apps::DvsHooks h;
+  h.before_marked_comm = [low_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(low_mhz);
+  };
+  h.after_marked_comm = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  // Start every rank at the high speed, like the paper's Figure 10 preamble.
+  h.at_start = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  return h;
+}
+
+apps::DvsHooks internal_rank_speed_hooks(std::function<int(int)> mhz_of_rank) {
+  apps::DvsHooks h;
+  h.at_start = [fn = std::move(mhz_of_rank)](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(fn(rank));
+  };
+  return h;
+}
+
+apps::DvsHooks internal_comm_scaling_hooks(int high_mhz, int low_mhz) {
+  apps::DvsHooks h;
+  h.at_start = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  h.before_any_comm = [low_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(low_mhz);
+  };
+  h.after_any_comm = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  return h;
+}
+
+std::vector<int> select_per_rank_speeds(const trace::TraceProfile& profile,
+                                        const cpu::OperatingPointTable& table,
+                                        double usable_slack) {
+  std::vector<int> speeds;
+  speeds.reserve(profile.ranks.size());
+  const int f_max = table.highest().freq_mhz;
+  for (const auto& rank : profile.ranks) {
+    const double busy = rank.comp_s() + rank.send_s + rank.recv_s;
+    const double wait = rank.wait_s + rank.collective_s;
+    if (busy <= 0) {
+      speeds.push_back(table.lowest().freq_mhz);
+      continue;
+    }
+    // Allowed busy-time stretch: extra <= usable_slack * wait.
+    const double max_stretch = 1.0 + usable_slack * wait / busy;
+    int chosen = f_max;
+    for (const auto& op : table.points()) {  // ascending
+      if (static_cast<double>(f_max) / op.freq_mhz <= max_stretch) {
+        chosen = op.freq_mhz;
+        break;
+      }
+    }
+    speeds.push_back(chosen);
+  }
+  return speeds;
+}
+
+apps::DvsHooks internal_wait_scaling_hooks(int high_mhz, int low_mhz) {
+  apps::DvsHooks h;
+  h.at_start = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  h.before_wait = [low_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(low_mhz);
+  };
+  h.after_wait = [high_mhz](mpi::Comm& comm, int rank) {
+    comm.node(rank).set_cpuspeed(high_mhz);
+  };
+  return h;
+}
+
+}  // namespace pcd::core

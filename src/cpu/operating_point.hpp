@@ -1,0 +1,86 @@
+// DVS operating points (frequency / supply-voltage pairs).
+//
+// The default table is the paper's Table 1: the five Enhanced SpeedStep
+// points of the Pentium M 1.4 GHz used in every NEMO node.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pcd::cpu {
+
+/// One DVS operating point.  DVS changes frequency and voltage together
+/// (paper footnote 3); we follow the paper in naming points by frequency.
+struct OperatingPoint {
+  int freq_mhz = 0;
+  double voltage = 0.0;
+
+  friend bool operator==(const OperatingPoint&, const OperatingPoint&) = default;
+};
+
+/// An ordered set of operating points (ascending frequency).
+class OperatingPointTable {
+ public:
+  OperatingPointTable() = default;
+
+  explicit OperatingPointTable(std::vector<OperatingPoint> points)
+      : points_(std::move(points)) {
+    if (points_.empty()) throw std::invalid_argument("empty operating point table");
+    std::sort(points_.begin(), points_.end(),
+              [](const OperatingPoint& a, const OperatingPoint& b) {
+                return a.freq_mhz < b.freq_mhz;
+              });
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (points_[i].freq_mhz == points_[i - 1].freq_mhz) {
+        throw std::invalid_argument("duplicate frequency in operating point table");
+      }
+      if (points_[i].voltage < points_[i - 1].voltage) {
+        throw std::invalid_argument("voltage must be non-decreasing with frequency");
+      }
+    }
+  }
+
+  /// The paper's Table 1: Pentium M 1.4 GHz SpeedStep points.
+  static OperatingPointTable pentium_m_1400() {
+    return OperatingPointTable({{600, 0.956},
+                                {800, 1.180},
+                                {1000, 1.308},
+                                {1200, 1.436},
+                                {1400, 1.484}});
+  }
+
+  std::size_t size() const { return points_.size(); }
+  const OperatingPoint& at(std::size_t i) const { return points_.at(i); }
+  const OperatingPoint& lowest() const { return points_.front(); }
+  const OperatingPoint& highest() const { return points_.back(); }
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+  /// Index of the point with exactly this frequency; throws if absent.
+  std::size_t index_of(int freq_mhz) const {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].freq_mhz == freq_mhz) return i;
+    }
+    throw std::invalid_argument("frequency not in operating point table");
+  }
+
+  bool contains(int freq_mhz) const {
+    return std::any_of(points_.begin(), points_.end(),
+                       [freq_mhz](const OperatingPoint& p) { return p.freq_mhz == freq_mhz; });
+  }
+
+  /// The lowest point with frequency >= freq_mhz (clamped to the highest).
+  std::size_t index_at_least(int freq_mhz) const {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].freq_mhz >= freq_mhz) return i;
+    }
+    return points_.size() - 1;
+  }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace pcd::cpu

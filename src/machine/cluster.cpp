@@ -1,0 +1,37 @@
+#include "machine/cluster.hpp"
+
+#include <stdexcept>
+
+namespace pcd::machine {
+
+Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
+    : engine_(engine), config_(config), rng_(config.seed) {
+  if (config.nodes <= 0) throw std::invalid_argument("cluster needs at least one node");
+  nodes_.reserve(config.nodes);
+  for (int i = 0; i < config.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(engine, i, config.node, rng_.split()));
+  }
+  network_ = std::make_unique<net::Network>(
+      engine, config.nodes, config.network, rng_.split(),
+      [this](int node_id, int delta) {
+        auto& pm = nodes_.at(node_id)->power();
+        pm.set_nic_flows(pm.nic_flows() + delta);
+      });
+  std::vector<power::NodePowerModel*> outlets;
+  outlets.reserve(nodes_.size());
+  for (auto& n : nodes_) outlets.push_back(&n->power());
+  baytech_ = std::make_unique<power::BaytechStrip>(engine, std::move(outlets),
+                                                   config.baytech);
+}
+
+void Cluster::set_all_cpuspeed(int mhz) {
+  for (auto& n : nodes_) n->set_cpuspeed(mhz);
+}
+
+double Cluster::total_energy_joules() const {
+  double joules = 0;
+  for (const auto& n : nodes_) joules += n->power().energy_joules();
+  return joules;
+}
+
+}  // namespace pcd::machine

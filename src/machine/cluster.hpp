@@ -1,0 +1,58 @@
+// The simulated power-aware cluster (the paper's NEMO: 16 Pentium M nodes
+// behind a 100 Mb switch, each with an ACPI battery; a Baytech strip spans
+// all outlets).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/node.hpp"
+#include "net/network.hpp"
+#include "power/meters.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace pcd::machine {
+
+struct ClusterConfig {
+  int nodes = 16;
+  NodeConfig node;
+  net::NetworkParams network;
+  power::BaytechParams baytech;
+  std::uint64_t seed = 0x5eed;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_.at(i); }
+  const Node& node(int i) const { return *nodes_.at(i); }
+  net::Network& network() { return *network_; }
+  power::BaytechStrip& baytech() { return *baytech_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// EXTERNAL control: "psetcpuspeed <mhz>" — set every node statically.
+  void set_all_cpuspeed(int mhz);
+
+  /// Exact total cluster energy so far (sum of node integrators).
+  double total_energy_joules() const;
+
+  /// Derives an independent RNG stream (for schedulers, workloads, ...).
+  sim::Rng rng_stream() { return rng_.split(); }
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<power::BaytechStrip> baytech_;
+};
+
+}  // namespace pcd::machine

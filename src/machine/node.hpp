@@ -1,0 +1,50 @@
+// A power-aware cluster node: CPU with DVS + node power model + ACPI battery.
+#pragma once
+
+#include <memory>
+
+#include "cpu/cpu.hpp"
+#include "power/meters.hpp"
+#include "power/node_power.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace pcd::machine {
+
+struct NodeConfig {
+  cpu::OperatingPointTable operating_points = cpu::OperatingPointTable::pentium_m_1400();
+  cpu::CpuConfig cpu;
+  power::NodePowerParams power = power::NodePowerParams::nemo();
+  power::AcpiBatteryParams battery;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, int id, const NodeConfig& config, sim::Rng rng)
+      : id_(id),
+        cpu_(engine, config.operating_points, config.cpu, rng.split()),
+        power_(engine, cpu_, config.power),
+        battery_(engine, power_, config.battery, rng.split()) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  cpu::Cpu& cpu() { return cpu_; }
+  const cpu::Cpu& cpu() const { return cpu_; }
+  power::NodePowerModel& power() { return power_; }
+  const power::NodePowerModel& power() const { return power_; }
+  power::AcpiBattery& battery() { return battery_; }
+  const power::AcpiBattery& battery() const { return battery_; }
+
+  /// The PowerPack DVS control entry point (set_cpuspeed in Figure 3).
+  void set_cpuspeed(int mhz) { cpu_.set_frequency_mhz(mhz); }
+
+ private:
+  int id_;
+  cpu::Cpu cpu_;
+  power::NodePowerModel power_;
+  power::AcpiBattery battery_;
+};
+
+}  // namespace pcd::machine

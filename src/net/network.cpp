@@ -1,0 +1,96 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcd::net {
+
+Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng rng,
+                 std::function<void(int, int)> nic_activity)
+    : engine_(engine),
+      params_(params),
+      rng_(rng),
+      nic_activity_(std::move(nic_activity)),
+      egress_(nodes),
+      ingress_(nodes) {
+  if (nodes <= 0) throw std::invalid_argument("network needs at least one node");
+}
+
+sim::SimDuration Network::uncontended_time(std::int64_t bytes) const {
+  const double wire_s = static_cast<double>(bytes) * 8.0 / (params_.bandwidth_mbps * 1e6);
+  return params_.latency + sim::from_seconds(wire_s);
+}
+
+void Network::release(Port& port) {
+  if (!port.waiters.empty()) {
+    auto h = port.waiters.front();
+    port.waiters.pop_front();
+    // Hand the (still busy) port to the next waiter, FIFO.
+    engine_.schedule_in(0, [h] { h.resume(); });
+  } else {
+    port.busy = false;
+  }
+}
+
+void Network::start_transfer(int src, int dst, std::int64_t bytes, double speed_ratio,
+                             std::coroutine_handle<> h) {
+  if (src == dst) {  // local copy: no wire, negligible time
+    engine_.schedule_in(0, [h] { h.resume(); });
+    return;
+  }
+  ++in_flight_;
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  sim::spawn(engine_, transfer_proc(src, dst, bytes, speed_ratio, h));
+}
+
+sim::Process Network::transfer_proc(int src, int dst, std::int64_t bytes,
+                                    double speed_ratio, std::coroutine_handle<> h) {
+  // NIC send queue: a sender's messages go out in posting order
+  // (head-of-line), then the message waits for the receiver's port.
+  co_await PortAcquire{&egress_[src]};
+  co_await PortAcquire{&ingress_[dst]};
+
+  const double wire_s = static_cast<double>(bytes) * 8.0 / (params_.bandwidth_mbps * 1e6);
+  sim::SimDuration service = sim::from_seconds(wire_s);
+
+  // Collision draw at wire start: risk grows with offered load and with
+  // the injection speed ratio (paper §5.2's retransmission hypothesis).
+  const int excess = in_flight_ - params_.collision_free_transfers;
+  if (excess > 0 && bytes >= params_.collision_min_bytes) {
+    const double p = std::min(params_.collision_prob_cap,
+                              params_.collision_coeff * excess *
+                                  std::pow(speed_ratio, params_.collision_speed_exponent));
+    if (rng_.bernoulli(p)) {
+      const auto span = static_cast<std::uint64_t>(
+          params_.backoff_min >= params_.backoff_max
+              ? 0
+              : params_.backoff_max - params_.backoff_min);
+      const sim::SimDuration backoff =
+          params_.backoff_min +
+          (span == 0 ? 0 : static_cast<sim::SimDuration>(rng_.uniform_int(span + 1)));
+      service += backoff;
+      ++stats_.collisions;
+      stats_.backoff_ns += backoff;
+    }
+  }
+
+  if (nic_activity_) {
+    nic_activity_(src, +1);
+    nic_activity_(dst, +1);
+  }
+  co_await sim::delay(service);
+  if (nic_activity_) {
+    nic_activity_(src, -1);
+    nic_activity_(dst, -1);
+  }
+  release(egress_[src]);
+  release(ingress_[dst]);
+
+  co_await sim::delay(params_.latency);
+  --in_flight_;
+  h.resume();
+}
+
+}  // namespace pcd::net

@@ -1,0 +1,126 @@
+#include "power/meters.hpp"
+
+#include <cmath>
+
+namespace pcd::power {
+
+namespace {
+constexpr double kJoulesPerMwh = 3.6;  // 1 mWh = 3.6 J (paper §4.2)
+}
+
+AcpiBattery::AcpiBattery(sim::Engine& engine, NodePowerModel& node,
+                         AcpiBatteryParams params, sim::Rng rng)
+    : engine_(engine),
+      node_(node),
+      params_(params),
+      level_mwh_(params.capacity_mwh),
+      reported_mwh_(params.capacity_mwh) {
+  const double period_s = rng.uniform(params_.refresh_min_s, params_.refresh_max_s);
+  refresh_period_ = sim::from_seconds(period_s);
+  initial_phase_ = static_cast<sim::SimDuration>(rng.uniform(0.0, period_s) * 1e9);
+}
+
+void AcpiBattery::recharge_full() {
+  level_mwh_ = params_.capacity_mwh;
+  drained_mwh_before_ = 0;
+  if (!on_ac_) drained_joules_at_disconnect_ = node_.energy_joules();
+  reported_mwh_ = quantize(true_remaining_mwh());
+}
+
+void AcpiBattery::disconnect_ac() {
+  if (!on_ac_) return;
+  on_ac_ = false;
+  drained_joules_at_disconnect_ = node_.energy_joules();
+}
+
+void AcpiBattery::connect_ac() {
+  if (on_ac_) return;
+  drained_mwh_before_ +=
+      (node_.energy_joules() - drained_joules_at_disconnect_) / kJoulesPerMwh;
+  on_ac_ = true;
+}
+
+double AcpiBattery::true_remaining_mwh() const {
+  double drained = drained_mwh_before_;
+  if (!on_ac_) {
+    drained += (node_.energy_joules() - drained_joules_at_disconnect_) / kJoulesPerMwh;
+  }
+  return level_mwh_ - drained;
+}
+
+double AcpiBattery::quantize(double mwh) const {
+  return std::floor(mwh / params_.quantum_mwh) * params_.quantum_mwh;
+}
+
+void AcpiBattery::start_polling() {
+  if (polling_) return;
+  polling_ = true;
+  reported_mwh_ = quantize(true_remaining_mwh());
+  next_tick_ = engine_.schedule_in(initial_phase_, [this] { refresh_tick(); });
+}
+
+void AcpiBattery::stop_polling() {
+  if (!polling_) return;
+  polling_ = false;
+  if (next_tick_) engine_.cancel(*next_tick_);
+  next_tick_.reset();
+}
+
+void AcpiBattery::refresh_tick() {
+  reported_mwh_ = quantize(true_remaining_mwh());
+  next_tick_ = engine_.schedule_in(refresh_period_, [this] { refresh_tick(); });
+}
+
+BaytechStrip::BaytechStrip(sim::Engine& engine, std::vector<NodePowerModel*> outlets,
+                           BaytechParams params)
+    : engine_(engine), outlets_(std::move(outlets)), params_(params) {}
+
+void BaytechStrip::start_polling() {
+  if (polling_) return;
+  polling_ = true;
+  window_start_ = engine_.now();
+  joules_at_window_start_.clear();
+  for (auto* node : outlets_) joules_at_window_start_.push_back(node->energy_joules());
+  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
+}
+
+void BaytechStrip::stop_polling() {
+  if (!polling_) return;
+  polling_ = false;
+  if (next_tick_) engine_.cancel(*next_tick_);
+  next_tick_.reset();
+}
+
+void BaytechStrip::tick() {
+  BaytechRecord rec;
+  rec.window_end = engine_.now();
+  const double window_s = sim::to_seconds(engine_.now() - window_start_);
+  rec.avg_watts.resize(outlets_.size());
+  for (std::size_t i = 0; i < outlets_.size(); ++i) {
+    const double joules = outlets_[i]->energy_joules();
+    rec.avg_watts[i] = (joules - joules_at_window_start_[i]) / window_s;
+    joules_at_window_start_[i] = joules;
+  }
+  records_.push_back(std::move(rec));
+  window_start_ = engine_.now();
+  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
+}
+
+double BaytechStrip::estimate_energy_joules(sim::SimTime t0, sim::SimTime t1) const {
+  // Sum avg_watts * overlap over every record window intersecting [t0, t1] —
+  // the coarse estimate an operator would compute from the SNMP log.
+  double joules = 0;
+  const auto window = sim::from_seconds(params_.window_s);
+  for (const auto& rec : records_) {
+    const sim::SimTime w1 = rec.window_end;
+    const sim::SimTime w0 = w1 - window;
+    const sim::SimTime lo = std::max(t0, w0);
+    const sim::SimTime hi = std::min(t1, w1);
+    if (hi <= lo) continue;
+    const double overlap_s = sim::to_seconds(hi - lo);
+    for (double w : rec.avg_watts) joules += w * overlap_s;
+  }
+  return joules;
+}
+
+}  // namespace pcd::power

@@ -1,0 +1,78 @@
+#include "power/node_power.hpp"
+
+namespace pcd::power {
+
+NodePowerParams NodePowerParams::nemo() {
+  NodePowerParams p;
+  p.cpu = CpuPowerParams::pentium_m();
+  p.base_watts = 7.7;
+  p.mem_idle_watts = 1.2;
+  p.mem_active_watts = 2.2;
+  p.disk_watts = 0.5;
+  p.nic_idle_watts = 0.6;
+  p.nic_active_watts = 1.2;
+  return p;
+}
+
+NodePowerParams NodePowerParams::pentium_iii_server() {
+  NodePowerParams p;
+  p.cpu = CpuPowerParams::pentium_iii();
+  p.base_watts = 26.0;  // server board, PSU loss, fans
+  p.mem_idle_watts = 4.0;
+  p.mem_active_watts = 5.0;
+  p.disk_watts = 6.0;
+  p.nic_idle_watts = 1.0;
+  p.nic_active_watts = 1.5;
+  return p;
+}
+
+NodePowerModel::NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerParams params)
+    : engine_(engine),
+      cpu_(cpu),
+      params_(params),
+      cpu_model_(params.cpu, cpu.table().highest()),
+      last_accrue_(engine.now()) {
+  cpu_.set_change_listener([this] { accrue(); });
+}
+
+PowerBreakdown NodePowerModel::breakdown() const {
+  PowerBreakdown b;
+  b.cpu = cpu_model_.watts(cpu_.power_op(), cpu_.activity());
+  b.memory = params_.mem_idle_watts + params_.mem_active_watts * cpu_.mem_activity();
+  b.disk = params_.disk_watts;
+  b.nic = params_.nic_idle_watts + (nic_flows_ > 0 ? params_.nic_active_watts : 0.0);
+  b.other = params_.base_watts;
+  return b;
+}
+
+void NodePowerModel::accrue() const {
+  const sim::SimTime now = engine_.now();
+  const double dt = sim::to_seconds(now - last_accrue_);
+  if (dt > 0) {
+    const PowerBreakdown b = breakdown();
+    energy_.cpu += b.cpu * dt;
+    energy_.memory += b.memory * dt;
+    energy_.disk += b.disk * dt;
+    energy_.nic += b.nic * dt;
+    energy_.other += b.other * dt;
+  }
+  last_accrue_ = now;
+}
+
+double NodePowerModel::energy_joules() const {
+  accrue();
+  return energy_.total();
+}
+
+EnergyBreakdown NodePowerModel::energy_breakdown() const {
+  accrue();
+  return energy_;
+}
+
+void NodePowerModel::set_nic_flows(int flows) {
+  if (flows == nic_flows_) return;
+  accrue();
+  nic_flows_ = flows;
+}
+
+}  // namespace pcd::power

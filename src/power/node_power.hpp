@@ -1,0 +1,88 @@
+// Whole-node power model and exact energy accounting.
+//
+// Node power = CPU + memory + disk + NIC + base (Figure 1's component
+// breakdown).  Every component's draw is a piecewise-constant function of
+// simulation state, so energy is integrated exactly: the model accrues
+// joules whenever any input changes and on every read.
+#pragma once
+
+#include <functional>
+
+#include "cpu/cpu.hpp"
+#include "power/cpu_power.hpp"
+#include "sim/engine.hpp"
+
+namespace pcd::power {
+
+struct NodePowerParams {
+  CpuPowerParams cpu;
+  double base_watts = 9.0;        // mainboard, bridges, PSU loss, panel off
+  double mem_idle_watts = 1.2;    // DRAM refresh + standby
+  double mem_active_watts = 2.2;  // extra at full DRAM activity
+  double disk_watts = 0.8;        // spun down most of the time (no disk I/O modeled)
+  double nic_idle_watts = 0.6;
+  double nic_active_watts = 1.2;  // extra while a transfer touches this node
+
+  /// NEMO node: Dell Inspiron 8600 laptop, Pentium M 1.4 GHz.
+  static NodePowerParams nemo();
+  /// Pentium III server node used for the Figure 1 measurement.
+  static NodePowerParams pentium_iii_server();
+};
+
+/// Instantaneous per-component wattage.
+struct PowerBreakdown {
+  double cpu = 0;
+  double memory = 0;
+  double disk = 0;
+  double nic = 0;
+  double other = 0;
+  double total() const { return cpu + memory + disk + nic + other; }
+};
+
+/// Cumulative per-component energy (joules).
+struct EnergyBreakdown {
+  double cpu = 0;
+  double memory = 0;
+  double disk = 0;
+  double nic = 0;
+  double other = 0;
+  double total() const { return cpu + memory + disk + nic + other; }
+};
+
+class NodePowerModel {
+ public:
+  NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerParams params);
+
+  NodePowerModel(const NodePowerModel&) = delete;
+  NodePowerModel& operator=(const NodePowerModel&) = delete;
+
+  /// Current per-component draw.
+  PowerBreakdown breakdown() const;
+  double watts() const { return breakdown().total(); }
+
+  /// Exact cumulative node energy up to now.
+  double energy_joules() const;
+  /// Exact cumulative per-component energy up to now.
+  EnergyBreakdown energy_breakdown() const;
+
+  /// Number of network transfers currently touching this node (drives NIC
+  /// active power).  Maintained by the network model.
+  void set_nic_flows(int flows);
+  int nic_flows() const { return nic_flows_; }
+
+  const NodePowerParams& params() const { return params_; }
+
+ private:
+  void accrue() const;
+
+  sim::Engine& engine_;
+  cpu::Cpu& cpu_;
+  NodePowerParams params_;
+  CpuPowerModel cpu_model_;
+  int nic_flows_ = 0;
+
+  mutable sim::SimTime last_accrue_;
+  mutable EnergyBreakdown energy_;
+};
+
+}  // namespace pcd::power

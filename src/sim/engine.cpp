@@ -1,0 +1,99 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pcd::sim {
+
+Engine::~Engine() {
+  // Destroy still-suspended coroutine frames in reverse spawn order.  A
+  // frame's destructor only touches its own locals, so this is safe as long
+  // as it happens before the engine's own members are torn down (it does:
+  // we are at the top of ~Engine).
+  for (auto it = live_frames_.rbegin(); it != live_frames_.rend(); ++it) {
+    if (*it) it->destroy();
+  }
+  live_frames_.clear();
+}
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule events in the simulated past");
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  pq_.push(QueueEntry{t, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventId Engine::schedule_in(SimDuration dt, Callback cb) {
+  assert(dt >= 0 && "cannot schedule events in the simulated past");
+  if (dt < 0) dt = 0;
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id.seq) > 0; }
+
+void Engine::post_orphan_exception(std::exception_ptr ex) {
+  orphan_exceptions_.push_back(std::move(ex));
+}
+
+void Engine::register_frame(std::coroutine_handle<> h) { live_frames_.push_back(h); }
+
+void Engine::unregister_frame(std::coroutine_handle<> h) {
+  auto it = std::find(live_frames_.begin(), live_frames_.end(), h);
+  if (it != live_frames_.end()) live_frames_.erase(it);
+}
+
+void Engine::throw_pending() {
+  if (orphan_exceptions_.empty()) return;
+  auto ex = orphan_exceptions_.front();
+  orphan_exceptions_.erase(orphan_exceptions_.begin());
+  std::rethrow_exception(ex);
+}
+
+bool Engine::step() {
+  while (!pq_.empty()) {
+    const QueueEntry top = pq_.top();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) {
+      pq_.pop();  // cancelled
+      continue;
+    }
+    assert(top.t >= now_);
+    now_ = top.t;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    pq_.pop();
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  throw_pending();
+  while (n < max_events && step()) {
+    ++n;
+    throw_pending();
+  }
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime t) {
+  if (t < now_) throw std::invalid_argument("run_until: target time is in the past");
+  std::size_t n = 0;
+  throw_pending();
+  while (!pq_.empty() && pq_.top().t <= t) {
+    if (!step()) break;
+    ++n;
+    throw_pending();
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace pcd::sim

@@ -1,0 +1,91 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a priority queue of (time, sequence) events; sequence
+// numbers break ties so that events scheduled for the same instant run in
+// FIFO order.  All model code — CPU executors, the network, MPI processes,
+// the CPUSPEED daemon — advances exclusively through this queue.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pcd::sim {
+
+/// Handle to a scheduled event; can be used to cancel it before it fires.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + dt (dt must be >= 0).
+  EventId schedule_in(SimDuration dt, Callback cb);
+
+  /// Cancels a pending event.  Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains (or `max_events` have been processed).
+  /// Returns the number of events processed.  Rethrows the first exception
+  /// that escaped a top-level coroutine with no joiner.
+  std::size_t run(std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
+  /// Runs events with time <= t, then advances now() to t.
+  std::size_t run_until(SimTime t);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return pq_.empty(); }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::size_t events_processed() const { return processed_; }
+
+  /// Records an exception that escaped a detached coroutine.  The next call
+  /// to run()/run_until() rethrows it.
+  void post_orphan_exception(std::exception_ptr ex);
+
+  /// Coroutine frame registry: frames register on spawn and unregister on
+  /// completion; ~Engine destroys any still-suspended frames (in reverse
+  /// spawn order) so blocked processes never leak.
+  void register_frame(std::coroutine_handle<> h);
+  void unregister_frame(std::coroutine_handle<> h);
+
+ private:
+  struct QueueEntry {
+    SimTime t;
+    std::uint64_t seq;
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  void throw_pending();
+  bool step();  // runs one event; returns false if queue empty
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<std::coroutine_handle<>> live_frames_;
+  std::vector<std::exception_ptr> orphan_exceptions_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace pcd::sim

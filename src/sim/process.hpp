@@ -1,0 +1,254 @@
+// Process-oriented simulation on top of the event engine, using C++20
+// coroutines.  A simulated MPI rank, the CPUSPEED daemon, or a measurement
+// loop is written as an ordinary coroutine:
+//
+//   sim::Process rank_main(NodeHandle node, ...) {
+//     co_await sim::delay(sim::kMillisecond);
+//     co_await comm.alltoall(rank, bytes);
+//   }
+//   sim::spawn(engine, rank_main(node, ...));
+//
+// Lifetime model: the coroutine frame is owned by the engine from spawn()
+// until completion (it self-destroys at final suspend).  Process itself is a
+// cheap shared handle to the completion state, so it can be copied, joined
+// (`co_await proc`), or dropped freely.  Frames still suspended when the
+// engine is destroyed are cleaned up by ~Engine.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace pcd::sim {
+
+class Process {
+ public:
+  struct State {
+    Engine* engine = nullptr;
+    bool started = false;
+    bool done = false;
+    std::exception_ptr exception;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  struct promise_type {
+    std::shared_ptr<State> state = std::make_shared<State>();
+
+    Engine* engine() const { return state->engine; }
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this), state);
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Mark completion, wake joiners through the engine queue (preserving
+        // FIFO ordering at the current timestamp), then self-destroy.
+        auto st = h.promise().state;
+        st->done = true;
+        Engine* engine = st->engine;
+        auto waiters = std::move(st->waiters);
+        st->waiters.clear();
+        if (engine != nullptr) engine->unregister_frame(h);
+        h.destroy();
+        if (engine == nullptr) return;
+        if (st->exception && waiters.empty()) {
+          engine->post_orphan_exception(st->exception);
+        }
+        for (auto w : waiters) {
+          engine->schedule_in(0, [w] { w.resume(); });
+        }
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { state->exception = std::current_exception(); }
+  };
+
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)), state_(std::move(other.state_)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy_if_unstarted();
+      handle_ = std::exchange(other.handle_, nullptr);
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy_if_unstarted(); }
+
+  bool done() const { return state_->done; }
+  bool started() const { return state_->started; }
+  bool failed() const { return state_->exception != nullptr; }
+
+  /// Joins the process: suspends until it completes; rethrows its exception.
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) { st->waiters.push_back(h); }
+      void await_resume() const {
+        if (st->exception) std::rethrow_exception(st->exception);
+      }
+    };
+    return Awaiter{state_};
+  }
+
+  /// A copyable join handle (e.g. to hand to several watchers).
+  std::shared_ptr<const State> watch() const { return state_; }
+
+ private:
+  friend Process spawn(Engine& engine, Process proc);
+
+  Process(std::coroutine_handle<promise_type> h, std::shared_ptr<State> st)
+      : handle_(h), state_(std::move(st)) {}
+
+  void destroy_if_unstarted() {
+    if (handle_ && !state_->started) handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+  std::shared_ptr<State> state_;
+};
+
+/// Launches a process: the coroutine body starts running at the engine's
+/// current time (as a queued event, so spawn order = run order).  Returns a
+/// handle usable for joining; the handle may be dropped for fire-and-forget.
+inline Process spawn(Engine& engine, Process proc) {
+  assert(!proc.state_->started && "process already spawned");
+  proc.state_->engine = &engine;
+  proc.state_->started = true;
+  auto h = proc.handle_;
+  proc.handle_ = nullptr;  // ownership passes to the engine
+  engine.register_frame(h);
+  engine.schedule_in(0, [h] { h.resume(); });
+  return proc;
+}
+
+/// Awaitable that suspends the current process for `dt` nanoseconds.
+struct DelayAwaiter {
+  SimDuration dt;
+  bool await_ready() const { return dt <= 0; }
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> h) {
+    Engine* engine = h.promise().engine();
+    engine->schedule_in(dt, [h]() mutable { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+inline DelayAwaiter delay(SimDuration dt) { return DelayAwaiter{dt}; }
+
+/// One-shot broadcast event: waiters suspend until set() is called; waiting
+/// on an already-set event does not suspend.  reset() re-arms it.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void set() {
+    if (signaled_) return;
+    signaled_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto w : waiters) {
+      engine_->schedule_in(0, [w] { w.resume(); });
+    }
+  }
+
+  void reset() { signaled_ = false; }
+  bool signaled() const { return signaled_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const { return ev->signaled_; }
+      void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+      void await_resume() const {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool signaled_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel between processes.  pop() suspends while empty.
+///
+/// Items are handed directly to suspended poppers (never re-queued), so a
+/// popper that was woken by a push can never have "its" item stolen by a
+/// concurrent non-suspending pop at the same timestamp.
+template <typename T>
+class Queue {
+ public:
+  explicit Queue(Engine& engine) : engine_(&engine) {}
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  void push(T value) {
+    if (!waiters_.empty()) {
+      PopAwaiter* w = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      w->item = std::move(value);
+      auto h = w->handle;
+      engine_->schedule_in(0, [h] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  struct PopAwaiter {
+    Queue* q;
+    std::optional<T> item;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!q->items_.empty()) {
+        item = std::move(q->items_.front());
+        q->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      q->waiters_.push_back(this);
+    }
+    T await_resume() {
+      assert(item.has_value());
+      return std::move(*item);
+    }
+  };
+
+  /// Awaitable pop: resumes with the front item once one is available.
+  PopAwaiter pop() { return PopAwaiter{this, std::nullopt, nullptr}; }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::vector<PopAwaiter*> waiters_;
+};
+
+}  // namespace pcd::sim

@@ -1,0 +1,36 @@
+// Simulated-time representation for the pcdvs discrete-event engine.
+//
+// All simulation time is kept as signed 64-bit nanoseconds.  Integer time
+// keeps event ordering exact and reproducible: the same program produces the
+// same event sequence on every platform, which the repeated-trial methodology
+// of the paper (Section 5) relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace pcd::sim {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a duration in (fractional) seconds to nanoseconds, rounding to
+/// the nearest representable tick.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts nanoseconds to fractional seconds.
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+constexpr SimDuration from_micros(double us) { return from_seconds(us * 1e-6); }
+constexpr SimDuration from_millis(double ms) { return from_seconds(ms * 1e-3); }
+
+}  // namespace pcd::sim

@@ -1,0 +1,47 @@
+#include "trace/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pcd::trace {
+
+std::string export_csv(const Tracer& tracer) {
+  std::string out = "rank,category,label,begin_ns,end_ns,duration_ns,peer,bytes\n";
+  char line[256];
+  for (int rank = 0; rank < tracer.ranks(); ++rank) {
+    for (const Record& r : tracer.records(rank)) {
+      std::snprintf(line, sizeof line, "%d,%s,%s,%lld,%lld,%lld,%d,%lld\n", rank,
+                    to_string(r.cat), r.label,
+                    static_cast<long long>(r.begin), static_cast<long long>(r.end),
+                    static_cast<long long>(r.end - r.begin), r.peer,
+                    static_cast<long long>(r.bytes));
+      out += line;
+    }
+  }
+  return out;
+}
+
+double DurationHistogram::typical_us() const {
+  if (total == 0) return 0;
+  int seen = 0;
+  for (const auto& [bucket, count] : bucket_counts) {
+    seen += count;
+    if (2 * seen >= total) return std::exp2(bucket) * 1.5;  // bucket midpoint
+  }
+  return 0;
+}
+
+DurationHistogram histogram(const Tracer& tracer, int rank, Cat cat) {
+  DurationHistogram h;
+  for (const Record& r : tracer.records(rank)) {
+    if (r.cat != cat) continue;
+    const double us = static_cast<double>(r.end - r.begin) / 1000.0;
+    const int bucket = us <= 1.0 ? 0 : static_cast<int>(std::floor(std::log2(us)));
+    ++h.bucket_counts[bucket];
+    ++h.total;
+    h.total_s += us * 1e-6;
+  }
+  return h;
+}
+
+}  // namespace pcd::trace

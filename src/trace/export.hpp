@@ -1,0 +1,31 @@
+// Trace export: CLOG/SLOG-style flat event dumps (the paper generated
+// MPICH CLOG files and visualized them with Jumpshot; we export CSV that
+// external tooling can plot the same way) plus summary histograms.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace pcd::trace {
+
+/// One CSV line per record:
+///   rank,category,label,begin_ns,end_ns,duration_ns,peer,bytes
+std::string export_csv(const Tracer& tracer);
+
+/// Duration histogram of one rank's records in a category (bucketed by
+/// powers of two microseconds); used to characterize message granularity
+/// (the paper's "execution time of each cycle is relatively small" check).
+struct DurationHistogram {
+  std::map<int, int> bucket_counts;  // bucket k: [2^k, 2^(k+1)) microseconds
+  int total = 0;
+  double total_s = 0;
+
+  /// Median-ish bucket midpoint in microseconds (0 if empty).
+  double typical_us() const;
+};
+
+DurationHistogram histogram(const Tracer& tracer, int rank, Cat cat);
+
+}  // namespace pcd::trace

@@ -1,0 +1,56 @@
+// Profile extraction and text rendering for traces (Figures 9 and 12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace pcd::trace {
+
+/// Aggregated view of one rank's trace.
+struct RankProfile {
+  double compute_s = 0;   // on-chip compute
+  double memstall_s = 0;  // memory-bound phases
+  double send_s = 0;
+  double recv_s = 0;
+  double wait_s = 0;
+  double collective_s = 0;
+  int sends = 0;
+  int recvs = 0;
+  int waits = 0;
+  int collectives = 0;
+  std::int64_t bytes_sent = 0;
+
+  double comp_s() const { return compute_s + memstall_s; }
+  double comm_s() const { return send_s + recv_s + wait_s + collective_s; }
+  /// The paper's communication-to-computation ratio.
+  double comm_to_comp() const { return comp_s() > 0 ? comm_s() / comp_s() : 0.0; }
+};
+
+struct TraceProfile {
+  std::vector<RankProfile> ranks;
+  double mean_iteration_s = 0;  // from iteration marks (rank 0)
+  int iterations = 0;
+
+  double total_comm_s() const;
+  double total_comp_s() const;
+  double comm_to_comp() const;
+  /// Max relative deviation of per-rank busy (comp) time from the mean —
+  /// the "workload is almost balanced across all nodes" check for FT.
+  double imbalance() const;
+};
+
+TraceProfile analyze(const Tracer& tracer);
+
+/// Jumpshot-like ASCII timeline: one row per rank, bucketed into `width`
+/// columns, each column showing the dominant category in that time slice.
+/// Legend: '#' compute, 'm' memory, 's' send, 'r' recv, 'w' wait,
+/// 'A' collective, '.' idle.
+std::string render_timeline(const Tracer& tracer, int width = 100);
+
+/// Human-readable per-rank summary table (the observations drawn from the
+/// paper's Jumpshot screenshots).
+std::string render_profile(const TraceProfile& profile);
+
+}  // namespace pcd::trace

@@ -1,0 +1,130 @@
+// MPE-style event tracing (paper §4.2/§5.3: profiles generated with an
+// instrumented MPICH, visualized with Jumpshot).
+//
+// Ranks log begin/end scopes per category; the profile analyzer derives
+// the observations the paper draws from Figures 9 and 12 — per-rank
+// communication-to-computation ratios, dominant event types, cycle times,
+// and balance across nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace pcd::trace {
+
+enum class Cat : std::uint8_t {
+  Compute,     // on-chip compute phase
+  MemStall,    // memory-bound phase
+  Send,        // point-to-point send (incl. protocol processing)
+  Recv,        // point-to-point receive
+  Wait,        // blocked in MPI_Wait / request completion
+  Collective,  // alltoall / allreduce / barrier / ...
+};
+
+const char* to_string(Cat c);
+bool is_comm(Cat c);
+
+struct Record {
+  Cat cat;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  int peer = -1;          // other rank for p2p, -1 otherwise
+  std::int64_t bytes = 0;
+  const char* label = ""; // e.g. "mpi_alltoall"
+};
+
+class Tracer {
+ public:
+  Tracer(sim::Engine& engine, int ranks, bool enabled = true)
+      : engine_(engine), records_(ranks), iter_marks_(ranks), comm_depth_(ranks, 0),
+        enabled_(enabled) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+  int ranks() const { return static_cast<int>(records_.size()); }
+
+  /// RAII scope; records on destruction.  Nested *communication* scopes are
+  /// suppressed (only the outermost Send/Recv/Wait/Collective records), so
+  /// p2p messages inside a collective don't double-count comm time.
+  class Scope {
+   public:
+    Scope(Tracer& tracer, int rank, Cat cat, const char* label, int peer,
+          std::int64_t bytes)
+        : tracer_(&tracer), rank_(rank) {
+      if (!tracer_->enabled_) return;
+      if (is_comm(cat)) {
+        counted_comm_ = true;
+        if (tracer_->comm_depth_[rank]++ > 0) return;  // nested comm: suppress
+      }
+      rec_.cat = cat;
+      rec_.begin = tracer_->engine_.now();
+      rec_.peer = peer;
+      rec_.bytes = bytes;
+      rec_.label = label;
+      active_ = true;
+    }
+    ~Scope() { close(); }
+    Scope(Scope&& o) noexcept
+        : tracer_(std::exchange(o.tracer_, nullptr)), rank_(o.rank_), rec_(o.rec_),
+          active_(o.active_), counted_comm_(o.counted_comm_) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+
+   private:
+    void close() {
+      if (tracer_ == nullptr) return;
+      if (counted_comm_) --tracer_->comm_depth_[rank_];
+      if (active_) {
+        rec_.end = tracer_->engine_.now();
+        tracer_->records_[rank_].push_back(rec_);
+      }
+      tracer_ = nullptr;
+    }
+
+    Tracer* tracer_;
+    int rank_;
+    Record rec_{};
+    bool active_ = false;
+    bool counted_comm_ = false;
+
+    friend class Tracer;
+  };
+
+  Scope scope(int rank, Cat cat, const char* label = "", int peer = -1,
+              std::int64_t bytes = 0) {
+    return Scope(*this, rank, cat, label, peer, bytes);
+  }
+
+  /// Marks an outer-iteration boundary on a rank.
+  void mark_iteration(int rank) {
+    if (enabled_) iter_marks_[rank].push_back(engine_.now());
+  }
+
+  const std::vector<Record>& records(int rank) const { return records_.at(rank); }
+  const std::vector<sim::SimTime>& iteration_marks(int rank) const {
+    return iter_marks_.at(rank);
+  }
+
+  void clear() {
+    for (auto& r : records_) r.clear();
+    for (auto& m : iter_marks_) m.clear();
+  }
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::vector<Record>> records_;
+  std::vector<std::vector<sim::SimTime>> iter_marks_;
+  std::vector<int> comm_depth_;
+  bool enabled_;
+};
+
+}  // namespace pcd::trace

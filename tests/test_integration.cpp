@@ -1,0 +1,264 @@
+// Integration and property tests across the full stack: the runner, the
+// three strategies, determinism, measurement instruments, and
+// parameterized sweeps over (code x frequency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "apps/npb.hpp"
+#include "core/runner.hpp"
+#include "core/strategies.hpp"
+
+using namespace pcd;
+
+namespace {
+constexpr double kTinyScale = 0.05;
+}
+
+TEST(Runner, DeterministicForEqualSeeds) {
+  core::RunConfig cfg;
+  cfg.seed = 7;
+  const auto a = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  const auto b = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_DOUBLE_EQ(a.delay_s, b.delay_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.net_collisions, b.net_collisions);
+}
+
+TEST(Runner, SeedsPerturbStochasticRuns) {
+  // IS is collision-heavy, so different seeds give different backoffs.
+  core::RunConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  const auto a = core::run_workload(apps::make_is(0.1), a_cfg);
+  const auto b = core::run_workload(apps::make_is(0.1), b_cfg);
+  EXPECT_NE(a.delay_s, b.delay_s);
+}
+
+TEST(Runner, TrialsTakeMedian) {
+  core::RunConfig cfg;
+  const auto one = core::run_workload(apps::make_ft(kTinyScale), cfg);
+  const auto med = core::run_trials(apps::make_ft(kTinyScale), cfg, 3);
+  // Median of three near-identical runs stays close to a single run.
+  EXPECT_NEAR(med.delay_s, one.delay_s, 0.05 * one.delay_s);
+  EXPECT_THROW(core::run_trials(apps::make_ft(kTinyScale), cfg, 0),
+               std::invalid_argument);
+}
+
+TEST(Runner, StaticFrequencyIsApplied) {
+  core::RunConfig cfg;
+  cfg.static_mhz = 600;
+  const auto slow = core::run_workload(apps::make_ep(kTinyScale), cfg);
+  cfg.static_mhz = 1400;
+  const auto fast = core::run_workload(apps::make_ep(kTinyScale), cfg);
+  EXPECT_NEAR(slow.delay_s / fast.delay_s, 1400.0 / 600.0, 0.15);
+}
+
+TEST(Runner, MetersTrackExactEnergyOnLongRuns) {
+  core::RunConfig cfg;
+  cfg.use_meters = true;
+  const auto r = core::run_workload(apps::make_ft(0.5), cfg);
+  ASSERT_GT(r.energy_acpi_j, 0);
+  ASSERT_GT(r.energy_baytech_j, 0);
+  EXPECT_NEAR(r.energy_acpi_j, r.energy_j, 0.12 * r.energy_j);
+  // The Baytech strip reports one-minute averages, so a ~30 s run is
+  // diluted by the idle remainder of its last window (why the paper used
+  // it only as a cross-check on long runs).
+  EXPECT_NEAR(r.energy_baytech_j, r.energy_j, 0.35 * r.energy_j);
+}
+
+TEST(Runner, BaytechConvergesOnMultiMinuteRuns) {
+  core::RunConfig cfg;
+  cfg.use_meters = true;
+  const auto r = core::run_workload(apps::make_ft(3.0), cfg);  // ~6 minutes
+  EXPECT_NEAR(r.energy_baytech_j, r.energy_j, 0.10 * r.energy_j);
+  EXPECT_NEAR(r.energy_acpi_j, r.energy_j, 0.08 * r.energy_j);
+}
+
+TEST(Runner, TraceCollectionAttachesProfile) {
+  core::RunConfig cfg;
+  cfg.collect_trace = true;
+  const auto r = core::run_workload(apps::make_ft(kTinyScale), cfg);
+  ASSERT_TRUE(r.profile.has_value());
+  EXPECT_EQ(r.profile->ranks.size(), 8u);
+  EXPECT_FALSE(r.timeline.empty());
+}
+
+TEST(Runner, UtilizationIsAFraction) {
+  core::RunConfig cfg;
+  const auto r = core::run_workload(apps::make_mg(kTinyScale), cfg);
+  EXPECT_GT(r.mean_utilization, 0.3);
+  EXPECT_LE(r.mean_utilization, 1.0);
+}
+
+// --- Strategy-level results -----------------------------------------------
+
+TEST(Strategies, FtInternalBeatsExternalOnDelayAtSimilarEnergy) {
+  auto ft = apps::make_ft(0.25);
+  core::RunConfig base_cfg;
+  const auto base = core::run_workload(ft, base_cfg);
+
+  core::RunConfig internal_cfg;
+  internal_cfg.hooks = core::internal_phase_hooks(1400, 600);
+  const auto internal = core::run_workload(ft, internal_cfg);
+
+  core::RunConfig ext_cfg;
+  ext_cfg.static_mhz = 600;
+  const auto external = core::run_workload(ft, ext_cfg);
+
+  // Paper §5.3.1: internal ~0.64 energy at ~1.00 delay; external@600 saves
+  // slightly more energy but pays 13% delay.
+  EXPECT_LT(internal.delay_s / base.delay_s, 1.03);
+  EXPECT_LT(internal.energy_j / base.energy_j, 0.75);
+  EXPECT_GT(external.delay_s / base.delay_s, 1.08);
+  EXPECT_LT(std::abs(external.energy_j / base.energy_j -
+                     internal.energy_j / base.energy_j), 0.10);
+}
+
+TEST(Strategies, CgPhasePoliciesHurtButRankPolicyWorks) {
+  auto cg = apps::make_cg(0.1);
+  core::RunConfig base_cfg;
+  const auto base = core::run_workload(cg, base_cfg);
+
+  // Rejected policy: scaling around every message loses on both axes.
+  core::RunConfig comm_cfg;
+  comm_cfg.hooks = core::internal_comm_scaling_hooks(1400, 600);
+  const auto comm_pol = core::run_workload(cg, comm_cfg);
+  EXPECT_GT(comm_pol.delay_s, base.delay_s);
+
+  // Adopted policy: heterogeneous per-rank speeds save energy.
+  core::RunConfig hetero_cfg;
+  hetero_cfg.hooks = core::internal_rank_speed_hooks(
+      [](int rank) { return rank <= 3 ? 1200 : 800; });
+  const auto hetero = core::run_workload(cg, hetero_cfg);
+  EXPECT_LT(hetero.energy_j / base.energy_j, 0.90);
+  EXPECT_LT(hetero.delay_s / base.delay_s, 1.15);
+}
+
+TEST(Strategies, SweepNormalizesAgainstHighestFrequency) {
+  auto sweep = core::sweep_static(apps::make_cg(kTinyScale), core::RunConfig{},
+                                  {600, 1400});
+  const auto c = sweep.normalized();
+  EXPECT_DOUBLE_EQ(c.at(1400).delay, 1.0);
+  EXPECT_DOUBLE_EQ(c.at(1400).energy, 1.0);
+  EXPECT_GT(c.at(600).delay, 1.0);
+  EXPECT_LT(c.at(600).energy, 1.0);
+}
+
+TEST(Strategies, ExternalRunUsesChosenFrequency) {
+  auto cg = apps::make_cg(kTinyScale);
+  core::RunConfig cfg;
+  auto sweep = core::sweep_static(cg, cfg);
+  const auto decision = core::run_external(cg, cfg, sweep, core::Metric::ED2P);
+  EXPECT_TRUE(decision.choice.freq_mhz >= 600 && decision.choice.freq_mhz <= 1400);
+  EXPECT_GT(decision.result.delay_s, 0);
+}
+
+TEST(Strategies, DaemonReducesEnergyOnCommBoundCode) {
+  auto ft = apps::make_ft(0.5);
+  core::RunConfig base_cfg;
+  base_cfg.static_mhz = 1400;
+  const auto base = core::run_workload(ft, base_cfg);
+  core::RunConfig cfg;
+  cfg.daemon = core::CpuspeedParams::v1_2_1();
+  const auto run = core::run_workload(ft, cfg);
+  EXPECT_LT(run.energy_j / base.energy_j, 0.85);   // paper: 24% saving
+  EXPECT_LT(run.delay_s / base.delay_s, 1.20);
+}
+
+TEST(Strategies, DaemonLeavesEpAlone) {
+  auto ep = apps::make_ep(0.25);
+  core::RunConfig base_cfg;
+  base_cfg.static_mhz = 1400;
+  const auto base = core::run_workload(ep, base_cfg);
+  core::RunConfig cfg;
+  cfg.daemon = core::CpuspeedParams::v1_2_1();
+  const auto run = core::run_workload(ep, cfg);
+  EXPECT_LT(run.delay_s / base.delay_s, 1.05);  // paper: 1-2% delay
+}
+
+// --- Property sweep: code x frequency ---------------------------------------
+
+class StaticSweepProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(StaticSweepProperty, DelayAndEnergyBehaveSanely) {
+  const auto& [code, freq] = GetParam();
+  auto workload = *apps::npb_by_name(code, kTinyScale);
+
+  core::RunConfig base_cfg;
+  base_cfg.static_mhz = 1400;
+  base_cfg.seed = 11;
+  const auto base = core::run_trials(workload, base_cfg, 2);
+
+  core::RunConfig cfg;
+  cfg.static_mhz = freq;
+  cfg.seed = 11;
+  const auto run = core::run_trials(workload, cfg, 2);
+
+  const double delay_n = run.delay_s / base.delay_s;
+  const double energy_n = run.energy_j / base.energy_j;
+
+  // Delay never improves beyond the collision margin, and never exceeds
+  // the pure-CPU bound 1400/f (plus small sync noise).
+  EXPECT_GT(delay_n, 0.80) << code << "@" << freq;
+  EXPECT_LT(delay_n, 1400.0 / freq + 0.10) << code << "@" << freq;
+  // Energy stays within physical bounds: no more than the slowdown ratio,
+  // never below the V^2 f floor (~0.15 of baseline power).
+  EXPECT_LT(energy_n, std::max(1.25, delay_n)) << code << "@" << freq;
+  EXPECT_GT(energy_n, 0.15 * delay_n) << code << "@" << freq;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesAllFreqs, StaticSweepProperty,
+    ::testing::Combine(::testing::Values("BT", "CG", "EP", "FT", "IS", "LU", "MG",
+                                         "SP"),
+                       ::testing::Values(600, 800, 1000, 1200)),
+    [](const ::testing::TestParamInfo<StaticSweepProperty::ParamType>& info) {
+      return std::get<0>(info.param) + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+class MonotoneDelayProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MonotoneDelayProperty, DelayDecreasesWithFrequency) {
+  // For collision-free codes, delay must be monotone non-increasing in f.
+  auto workload = *apps::npb_by_name(GetParam(), kTinyScale);
+  core::RunConfig cfg;
+  cfg.seed = 3;
+  double prev = 1e100;
+  for (int f : {600, 800, 1000, 1200, 1400}) {
+    core::RunConfig c = cfg;
+    c.static_mhz = f;
+    const auto r = core::run_workload(workload, c);
+    EXPECT_LE(r.delay_s, prev * 1.005) << GetParam() << "@" << f;
+    prev = r.delay_s;
+  }
+}
+
+// IS and SP are excluded by design: their collision tax makes delay
+// non-monotone (the paper's §5.2 anomaly).
+INSTANTIATE_TEST_SUITE_P(CollisionFreeCodes, MonotoneDelayProperty,
+                         ::testing::Values("BT", "CG", "EP", "FT", "LU", "MG"));
+
+class EnergyMonotoneProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EnergyMonotoneProperty, EnergyRisesWithFrequencyForSlackCodes) {
+  // Type III/IV codes: total energy increases with frequency.
+  auto workload = *apps::npb_by_name(GetParam(), kTinyScale);
+  core::RunConfig cfg;
+  cfg.seed = 5;
+  double prev = 0;
+  for (int f : {600, 800, 1000, 1200, 1400}) {
+    core::RunConfig c = cfg;
+    c.static_mhz = f;
+    const auto r = core::run_workload(workload, c);
+    EXPECT_GE(r.energy_j, prev * 0.995) << GetParam() << "@" << f;
+    prev = r.energy_j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlackCodes, EnergyMonotoneProperty,
+                         ::testing::Values("FT", "CG", "IS", "SP"));

@@ -1,0 +1,114 @@
+// Tests for the node/cluster assembly layer.
+#include <gtest/gtest.h>
+
+#include "machine/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pcd::sim;
+using pcd::machine::Cluster;
+using pcd::machine::ClusterConfig;
+
+TEST(Cluster, BuildsRequestedNodeCount) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 16;  // NEMO
+  Cluster c(e, cfg);
+  EXPECT_EQ(c.size(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.node(i).id(), i);
+    EXPECT_EQ(c.node(i).cpu().frequency_mhz(), 1400);
+  }
+  EXPECT_EQ(c.network().nodes(), 16);
+}
+
+TEST(Cluster, RejectsEmptyCluster) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(Cluster(e, cfg), std::invalid_argument);
+}
+
+TEST(Cluster, SetAllCpuspeedIsPsetcpuspeed) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cpu.transition_min = cfg.node.cpu.transition_max = sim::from_micros(20);
+  Cluster c(e, cfg);
+  c.set_all_cpuspeed(800);
+  e.run();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c.node(i).cpu().frequency_mhz(), 800);
+}
+
+TEST(Cluster, TotalEnergySumsNodes) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  Cluster c(e, cfg);
+  e.schedule_at(10 * sim::kSecond, [] {});
+  e.run();
+  double sum = 0;
+  for (int i = 0; i < 3; ++i) sum += c.node(i).power().energy_joules();
+  EXPECT_NEAR(c.total_energy_joules(), sum, 1e-9);
+  EXPECT_GT(sum, 0);
+}
+
+TEST(Cluster, NodesHaveIndependentRngStreams) {
+  // Transition latencies differ across nodes (per-node seeds).
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  Cluster c(e, cfg);
+  c.set_all_cpuspeed(600);
+  e.run();
+  bool all_equal = true;
+  const auto first = c.node(0).cpu().stats().transition_stall_ns;
+  for (int i = 1; i < 8; ++i) {
+    all_equal = all_equal && (c.node(i).cpu().stats().transition_stall_ns == first);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Cluster, NicActivityReachesNodePower) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.network.collision_coeff = 0;
+  Cluster c(e, cfg);
+  double during = 0;
+  auto xfer = [&]() -> sim::Process {
+    co_await c.network().transfer(0, 1, 1'000'000, 1.0);
+  };
+  sim::spawn(e, xfer());
+  e.schedule_at(40 * sim::kMillisecond, [&] { during = c.node(0).power().breakdown().nic; });
+  e.run();
+  const double idle = c.node(0).power().breakdown().nic;
+  EXPECT_GT(during, idle);
+}
+
+TEST(Cluster, DifferentSeedsProduceDifferentStreams) {
+  auto stall_signature = [](std::uint64_t seed) {
+    sim::Engine e;
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.seed = seed;
+    Cluster c(e, cfg);
+    c.set_all_cpuspeed(600);
+    e.run();
+    return c.node(0).cpu().stats().transition_stall_ns;
+  };
+  EXPECT_EQ(stall_signature(1), stall_signature(1));
+  EXPECT_NE(stall_signature(1), stall_signature(2));
+}
+
+TEST(Cluster, BatteryPerNode) {
+  sim::Engine e;
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster c(e, cfg);
+  c.node(0).battery().disconnect_ac();
+  e.schedule_at(30 * sim::kSecond, [] {});
+  e.run();
+  EXPECT_LT(c.node(0).battery().true_remaining_mwh(), 53000.0);
+  EXPECT_DOUBLE_EQ(c.node(1).battery().true_remaining_mwh(), 53000.0);
+}

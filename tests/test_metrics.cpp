@@ -1,0 +1,169 @@
+// Unit tests for the energy-performance metrics, operating-point selection,
+// and crescendo classification.
+#include <gtest/gtest.h>
+
+#include "analysis/crescendo.hpp"
+#include "analysis/reference.hpp"
+#include "core/metrics.hpp"
+
+using pcd::core::Crescendo;
+using pcd::core::EnergyDelay;
+using pcd::core::Metric;
+
+TEST(Metrics, FusedValues) {
+  const EnergyDelay ed{0.8, 1.1};
+  EXPECT_DOUBLE_EQ(pcd::core::fused_value(Metric::EDP, ed), 0.8 * 1.1);
+  EXPECT_DOUBLE_EQ(pcd::core::fused_value(Metric::ED2P, ed), 0.8 * 1.1 * 1.1);
+  EXPECT_DOUBLE_EQ(pcd::core::fused_value(Metric::ED3P, ed), 0.8 * 1.1 * 1.1 * 1.1);
+}
+
+TEST(Metrics, WeightedEd2p) {
+  const EnergyDelay ed{0.8, 1.1};
+  EXPECT_DOUBLE_EQ(pcd::core::weighted_ed2p(ed, 1.0),
+                   pcd::core::fused_value(Metric::ED2P, ed));
+  EXPECT_GT(pcd::core::weighted_ed2p(ed, 2.0),
+            pcd::core::weighted_ed2p(ed, 1.0));  // more weight on delay > 1
+}
+
+TEST(Metrics, BaselineHasUnitValue) {
+  const EnergyDelay base{1.0, 1.0};
+  for (auto m : {Metric::EDP, Metric::ED2P, Metric::ED3P}) {
+    EXPECT_DOUBLE_EQ(pcd::core::fused_value(m, base), 1.0);
+  }
+}
+
+namespace {
+
+Crescendo ft_like() {
+  // The paper's FT row.
+  return {{600, {0.62, 1.13}},
+          {800, {0.70, 1.07}},
+          {1000, {0.80, 1.04}},
+          {1200, {0.93, 1.02}},
+          {1400, {1.00, 1.00}}};
+}
+
+Crescendo ep_like() {
+  return {{600, {1.15, 2.35}},
+          {800, {1.03, 1.75}},
+          {1000, {1.02, 1.40}},
+          {1200, {1.03, 1.17}},
+          {1400, {1.00, 1.00}}};
+}
+
+}  // namespace
+
+TEST(Selection, Ed3pPicksModeratePointForFt) {
+  const auto c = pcd::core::select_operating_point(ft_like(), Metric::ED3P);
+  // ED3P values: 600: .894, 800: .857, 1000: .899, 1200: .987, 1400: 1.
+  EXPECT_EQ(c.freq_mhz, 800);
+}
+
+TEST(Selection, Ed2pPicksLowerPointThanEd3p) {
+  const auto ed2 = pcd::core::select_operating_point(ft_like(), Metric::ED2P);
+  const auto ed3 = pcd::core::select_operating_point(ft_like(), Metric::ED3P);
+  EXPECT_LE(ed2.freq_mhz, ed3.freq_mhz);
+  EXPECT_EQ(ed2.freq_mhz, 600);  // .79 at 600 vs .80 at 800
+}
+
+TEST(Selection, TypeIcodeKeepsFullSpeed) {
+  for (auto m : {Metric::EDP, Metric::ED2P, Metric::ED3P}) {
+    EXPECT_EQ(pcd::core::select_operating_point(ep_like(), m).freq_mhz, 1400)
+        << pcd::core::to_string(m);
+  }
+}
+
+TEST(Selection, TieBreaksTowardBetterPerformance) {
+  Crescendo c{{600, {0.50, 2.00}}, {1200, {1.00, 1.00}}};
+  // EDP: 600 -> 1.0, 1200 -> 1.0 (tie): must choose the faster 1200.
+  const auto choice = pcd::core::select_operating_point(c, Metric::EDP);
+  EXPECT_EQ(choice.freq_mhz, 1200);
+}
+
+TEST(Selection, EmptyCrescendoThrows) {
+  EXPECT_THROW(pcd::core::select_operating_point({}, Metric::EDP),
+               std::invalid_argument);
+}
+
+TEST(DelayConstrained, PicksLowestEnergyWithinBound) {
+  const auto c = pcd::core::select_delay_constrained(ft_like(), 0.05);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->freq_mhz, 1000);  // 1.04 within 5%; energy 0.80 beats 0.93/1.00
+}
+
+TEST(DelayConstrained, TightBoundLimitsChoice) {
+  const auto c = pcd::core::select_delay_constrained(ft_like(), 0.02);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->freq_mhz, 1200);
+}
+
+TEST(DelayConstrained, ZeroBoundFallsBackToBaseline) {
+  const auto c = pcd::core::select_delay_constrained(ft_like(), 0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->freq_mhz, 1400);
+}
+
+TEST(DelayConstrained, NoFeasiblePoint) {
+  Crescendo c{{600, {0.5, 1.5}}, {800, {0.7, 1.2}}};
+  EXPECT_FALSE(pcd::core::select_delay_constrained(c, 0.05).has_value());
+}
+
+// --- Crescendo classification -------------------------------------------------
+
+TEST(Classify, PaperTable2RowsMatchFigure8Types) {
+  using pcd::analysis::CrescendoType;
+  for (const auto& row : pcd::analysis::table2()) {
+    if (!row.energy_known) continue;  // SP's energies are not published
+    Crescendo c;
+    for (const auto& [f, ed] : row.at) c[f] = ed;
+    const auto type = pcd::analysis::classify_crescendo(c);
+    const auto expected =
+        pcd::analysis::figure8_types().at(row.code.substr(0, 2));
+    EXPECT_EQ(type, expected) << row.code;
+  }
+}
+
+TEST(Classify, SyntheticTypes) {
+  using pcd::analysis::CrescendoType;
+  // Type I: no saving, big slowdown.
+  Crescendo t1{{600, {1.05, 2.3}}, {1400, {1.0, 1.0}}};
+  EXPECT_EQ(pcd::analysis::classify_crescendo(t1), CrescendoType::I);
+  // Type II: saving ~ slowdown.
+  Crescendo t2{{600, {0.75, 1.30}}, {1400, {1.0, 1.0}}};
+  EXPECT_EQ(pcd::analysis::classify_crescendo(t2), CrescendoType::II);
+  // Type III: saving >> slowdown.
+  Crescendo t3{{600, {0.60, 1.12}}, {1400, {1.0, 1.0}}};
+  EXPECT_EQ(pcd::analysis::classify_crescendo(t3), CrescendoType::III);
+  // Type IV: saving with no slowdown.
+  Crescendo t4{{600, {0.65, 1.02}}, {1400, {1.0, 1.0}}};
+  EXPECT_EQ(pcd::analysis::classify_crescendo(t4), CrescendoType::IV);
+}
+
+TEST(Classify, RequiresTwoPoints) {
+  Crescendo c{{1400, {1.0, 1.0}}};
+  EXPECT_THROW(pcd::analysis::classify_crescendo(c), std::invalid_argument);
+}
+
+// --- Reference data sanity ----------------------------------------------------
+
+TEST(Reference, TableHasAllEightCodes) {
+  EXPECT_EQ(pcd::analysis::table2().size(), 8u);
+  for (const char* code : {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"}) {
+    EXPECT_NE(pcd::analysis::table2_row(code), nullptr) << code;
+  }
+  EXPECT_EQ(pcd::analysis::table2_row("XX"), nullptr);
+}
+
+TEST(Reference, BaselineColumnsAreUnity) {
+  for (const auto& row : pcd::analysis::table2()) {
+    EXPECT_DOUBLE_EQ(row.at.at(1400).delay, 1.0) << row.code;
+    if (row.energy_known) {
+      EXPECT_DOUBLE_EQ(row.at.at(1400).energy, 1.0) << row.code;
+    }
+  }
+}
+
+TEST(Reference, InternalFiguresPresent) {
+  EXPECT_EQ(pcd::analysis::figure11_ft().size(), 3u);
+  EXPECT_EQ(pcd::analysis::figure14_cg().size(), 4u);
+}

@@ -1,0 +1,134 @@
+// Tests for the lazy Op<T> coroutine type used by the MPI layer.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/op.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pcd::sim;
+
+namespace {
+
+sim::Op<int> answer() { co_return 42; }
+
+sim::Op<int> delayed_value(int v, sim::SimDuration dt) {
+  co_await sim::delay(dt);
+  co_return v;
+}
+
+sim::Op<> throws_inside() {
+  co_await sim::delay(1);
+  throw std::runtime_error("op failed");
+}
+
+sim::Op<int> sums(int n) {
+  int total = 0;
+  for (int i = 1; i <= n; ++i) {
+    total += co_await delayed_value(i, 10);  // nested Op
+  }
+  co_return total;
+}
+
+}  // namespace
+
+TEST(Op, ReturnsValueToAwaiter) {
+  sim::Engine e;
+  int got = 0;
+  auto proc = [&]() -> sim::Process { got = co_await answer(); };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Op, LazyUntilAwaited) {
+  sim::Engine e;
+  bool started = false;
+  auto op = [&]() -> sim::Op<> {
+    started = true;
+    co_return;
+  };
+  {
+    auto pending = op();  // constructed but never awaited
+    EXPECT_FALSE(started);
+    EXPECT_FALSE(pending.done());
+  }  // destroying an unstarted Op must not leak or run it
+  EXPECT_FALSE(started);
+}
+
+TEST(Op, SuspendsAcrossSimTime) {
+  sim::Engine e;
+  int got = 0;
+  auto proc = [&]() -> sim::Process { got = co_await delayed_value(7, sim::kSecond); };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(e.now(), sim::kSecond);
+}
+
+TEST(Op, NestedOpsPropagateEngine) {
+  sim::Engine e;
+  int got = 0;
+  auto proc = [&]() -> sim::Process { got = co_await sums(4); };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_EQ(got, 10);
+  EXPECT_EQ(e.now(), 40);  // 4 nested delays of 10 ns
+}
+
+TEST(Op, ExceptionPropagatesToAwaiter) {
+  sim::Engine e;
+  bool caught = false;
+  auto proc = [&]() -> sim::Process {
+    try {
+      co_await throws_inside();
+    } catch (const std::runtime_error& ex) {
+      caught = std::string(ex.what()) == "op failed";
+    }
+  };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Op, UncaughtExceptionSurfacesThroughProcess) {
+  sim::Engine e;
+  auto proc = []() -> sim::Process { co_await throws_inside(); };
+  sim::spawn(e, proc());
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Op, SequentialAwaitsShareTimeline) {
+  sim::Engine e;
+  std::vector<int> order;
+  auto proc = [&]() -> sim::Process {
+    order.push_back(co_await delayed_value(1, 100));
+    order.push_back(co_await delayed_value(2, 100));
+  };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 200);
+}
+
+TEST(Op, MoveOnlySemantics) {
+  static_assert(!std::is_copy_constructible_v<sim::Op<int>>);
+  static_assert(std::is_move_constructible_v<sim::Op<int>>);
+  static_assert(!std::is_copy_assignable_v<sim::Op<int>>);
+}
+
+TEST(Op, VoidSpecialization) {
+  sim::Engine e;
+  bool ran = false;
+  auto op = [&]() -> sim::Op<> {
+    co_await sim::delay(5);
+    ran = true;
+  };
+  auto proc = [&]() -> sim::Process { co_await op(); };
+  sim::spawn(e, proc());
+  e.run();
+  EXPECT_TRUE(ran);
+}

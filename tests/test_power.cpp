@@ -1,0 +1,329 @@
+// Unit tests for power models, energy integration, and the simulated
+// ACPI battery / Baytech strip measurement instruments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/cpu.hpp"
+#include "power/cpu_power.hpp"
+#include "power/meters.hpp"
+#include "power/node_power.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pcd::sim;
+using pcd::cpu::Cpu;
+using pcd::cpu::CpuConfig;
+using pcd::cpu::OperatingPoint;
+using pcd::cpu::OperatingPointTable;
+using pcd::power::AcpiBattery;
+using pcd::power::AcpiBatteryParams;
+using pcd::power::BaytechStrip;
+using pcd::power::CpuPowerModel;
+using pcd::power::CpuPowerParams;
+using pcd::power::NodePowerModel;
+using pcd::power::NodePowerParams;
+
+namespace {
+
+struct PowerFixture {
+  sim::Engine engine;
+  Cpu cpu;
+  NodePowerModel node;
+  PowerFixture()
+      : cpu(engine, OperatingPointTable::pentium_m_1400(),
+            [] {
+              CpuConfig c;
+              c.transition_min = c.transition_max = sim::from_micros(20);
+              return c;
+            }(),
+            sim::Rng(3)),
+        node(engine, cpu, NodePowerParams::nemo()) {}
+};
+
+sim::Process run_onchip(Cpu& cpu, double cycles) { co_await cpu.run_onchip_cycles(cycles); }
+
+}  // namespace
+
+// ---- CpuPowerModel ---------------------------------------------------------
+
+TEST(CpuPowerModel, TopOpFullActivity) {
+  const auto table = OperatingPointTable::pentium_m_1400();
+  const auto params = CpuPowerParams::pentium_m();
+  CpuPowerModel m(params, table.highest());
+  EXPECT_NEAR(m.watts(table.highest(), 1.0), params.busy_watts_max(), 1e-9);
+}
+
+TEST(CpuPowerModel, DynamicPartScalesWithV2FPlusClock) {
+  const auto table = OperatingPointTable::pentium_m_1400();
+  const auto params = CpuPowerParams::pentium_m();
+  CpuPowerModel m(params, table.highest());
+  const OperatingPoint low = table.lowest();  // 600 MHz / 0.956 V
+  const double dyn_lo = m.watts(low, 1.0) - m.watts(low, 0.0);
+  const double vr2 = (0.956 * 0.956) / (1.484 * 1.484);
+  const double fr = 600.0 / 1400.0;
+  EXPECT_NEAR(dyn_lo, params.dynamic_watts_max * vr2 * fr + params.clock_watts_max * fr,
+              1e-12);
+}
+
+TEST(CpuPowerModel, LeakageScalesWithV2) {
+  const auto table = OperatingPointTable::pentium_m_1400();
+  CpuPowerModel m(CpuPowerParams::pentium_m(), table.highest());
+  const double leak_hi = m.watts(table.highest(), 0.0);
+  const double leak_lo = m.watts(table.lowest(), 0.0);
+  EXPECT_NEAR(leak_lo / leak_hi, (0.956 * 0.956) / (1.484 * 1.484), 1e-12);
+}
+
+TEST(CpuPowerModel, MonotonicInFrequency) {
+  const auto table = OperatingPointTable::pentium_m_1400();
+  CpuPowerModel m(CpuPowerParams::pentium_m(), table.highest());
+  double prev = 0;
+  for (const auto& op : table.points()) {
+    const double w = m.watts(op, 1.0);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+// ---- NodePowerModel ---------------------------------------------------------
+
+TEST(NodePower, BreakdownComponentsArePositiveAndSum) {
+  PowerFixture f;
+  const auto b = f.node.breakdown();
+  EXPECT_GT(b.cpu, 0);
+  EXPECT_GT(b.memory, 0);
+  EXPECT_GT(b.disk, 0);
+  EXPECT_GT(b.nic, 0);
+  EXPECT_GT(b.other, 0);
+  EXPECT_NEAR(b.total(), b.cpu + b.memory + b.disk + b.nic + b.other, 1e-12);
+}
+
+TEST(NodePower, ConstantIdleEnergyIntegratesExactly) {
+  PowerFixture f;
+  const double idle_watts = f.node.watts();
+  f.engine.schedule_at(10 * sim::kSecond, [] {});
+  f.engine.run();
+  EXPECT_NEAR(f.node.energy_joules(), idle_watts * 10.0, 1e-9);
+}
+
+TEST(NodePower, EnergyAcrossStateChange) {
+  PowerFixture f;
+  const double idle_watts = f.node.watts();
+  sim::spawn(f.engine, run_onchip(f.cpu, 1.4e9));  // 1 s busy
+  f.engine.run();
+  const double busy_joules_expected = [&] {
+    // Busy power: query via a fresh fixture mid-work is awkward; instead
+    // compute from the model directly.
+    CpuPowerModel m(NodePowerParams::nemo().cpu,
+                    OperatingPointTable::pentium_m_1400().highest());
+    const auto& p = NodePowerParams::nemo();
+    const double cpu_w =
+        m.watts(OperatingPointTable::pentium_m_1400().highest(), f.cpu.config().act_onchip);
+    const double mem_w = p.mem_idle_watts + p.mem_active_watts * 0.30;
+    return cpu_w + mem_w + p.disk_watts + p.nic_idle_watts + p.base_watts;
+  }();
+  f.engine.schedule_at(2 * sim::kSecond, [] {});
+  f.engine.run();
+  EXPECT_NEAR(f.node.energy_joules(), busy_joules_expected + idle_watts, 1e-6);
+}
+
+TEST(NodePower, NicFlowsRaisePower) {
+  PowerFixture f;
+  const double before = f.node.watts();
+  f.node.set_nic_flows(1);
+  const double with_one = f.node.watts();
+  f.node.set_nic_flows(3);
+  EXPECT_NEAR(f.node.watts(), with_one, 1e-12);  // binary active, not per flow
+  EXPECT_NEAR(with_one - before, NodePowerParams::nemo().nic_active_watts, 1e-12);
+  f.node.set_nic_flows(0);
+  EXPECT_NEAR(f.node.watts(), before, 1e-12);
+}
+
+TEST(NodePower, EnergyBreakdownSumsToTotal) {
+  PowerFixture f;
+  sim::spawn(f.engine, run_onchip(f.cpu, 7e8));
+  f.engine.run();
+  const auto eb = f.node.energy_breakdown();
+  EXPECT_NEAR(eb.total(), f.node.energy_joules(), 1e-9);
+  EXPECT_GT(eb.cpu, 0);
+  EXPECT_GT(eb.other, 0);
+}
+
+TEST(NodePower, LowerFrequencyLowersBusyPower) {
+  PowerFixture f;
+  double busy_1400 = 0, busy_600 = 0;
+  sim::spawn(f.engine, run_onchip(f.cpu, 1.4e9));
+  f.engine.schedule_at(sim::kMillisecond, [&] { busy_1400 = f.node.watts(); });
+  f.engine.run();
+  f.cpu.set_frequency_mhz(600);
+  f.engine.run();
+  sim::spawn(f.engine, run_onchip(f.cpu, 1.4e9));
+  f.engine.schedule_at(f.engine.now() + sim::kMillisecond,
+                       [&] { busy_600 = f.node.watts(); });
+  f.engine.run();
+  EXPECT_GT(busy_1400, 25.0);
+  EXPECT_LT(busy_600, busy_1400 - 10.0);  // most of the CPU's ~22 W vanishes
+}
+
+TEST(NodePower, TransitionBilledAtHigherVoltage) {
+  PowerFixture f;
+  f.cpu.set_frequency_mhz(600);
+  const double during = f.node.breakdown().cpu;
+  f.engine.run();
+  const double after = f.node.breakdown().cpu;
+  EXPECT_GT(during, after);  // stall at 1.484 V vs idle at 0.956 V
+}
+
+// ---- AcpiBattery ------------------------------------------------------------
+
+namespace {
+
+struct BatteryFixture : PowerFixture {
+  AcpiBattery battery;
+  BatteryFixture()
+      : battery(engine, node, AcpiBatteryParams{}, sim::Rng(17)) {}
+};
+
+}  // namespace
+
+TEST(AcpiBattery, NoDrainOnAc) {
+  BatteryFixture f;
+  f.engine.schedule_at(60 * sim::kSecond, [] {});
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(f.battery.true_remaining_mwh(), 53000.0);
+}
+
+TEST(AcpiBattery, DrainsExactlyNodeEnergyOnDc) {
+  BatteryFixture f;
+  f.battery.disconnect_ac();
+  const double e0 = f.node.energy_joules();
+  f.engine.schedule_at(100 * sim::kSecond, [] {});
+  f.engine.run();
+  const double drained_j = f.node.energy_joules() - e0;
+  EXPECT_NEAR(f.battery.true_remaining_mwh(), 53000.0 - drained_j / 3.6, 1e-6);
+}
+
+TEST(AcpiBattery, ReconnectStopsDrain) {
+  BatteryFixture f;
+  f.battery.disconnect_ac();
+  f.engine.schedule_at(50 * sim::kSecond, [&] { f.battery.connect_ac(); });
+  f.engine.schedule_at(200 * sim::kSecond, [] {});
+  f.engine.run();
+  const double after_50s = 53000.0 - f.node.watts() * 50.0 / 3.6;
+  EXPECT_NEAR(f.battery.true_remaining_mwh(), after_50s, 1e-6);
+}
+
+TEST(AcpiBattery, ReportedValueIsStaleBetweenRefreshes) {
+  BatteryFixture f;
+  f.battery.disconnect_ac();
+  f.battery.start_polling();
+  // Immediately after start, reported is a quantized snapshot of "now".
+  const double initial = f.battery.reported_remaining_mwh();
+  EXPECT_DOUBLE_EQ(initial, 53000.0);
+  // Advance 5 s (< first refresh phase may or may not have hit; compare to
+  // truth: reported must lag truth by design within a refresh period).
+  f.engine.run_until(5 * sim::kSecond);
+  EXPECT_GE(f.battery.reported_remaining_mwh(), f.battery.true_remaining_mwh());
+  f.battery.stop_polling();
+}
+
+TEST(AcpiBattery, RefreshPeriodWithinPaperBounds) {
+  for (int seed = 0; seed < 10; ++seed) {
+    sim::Engine e;
+    Cpu cpu(e, OperatingPointTable::pentium_m_1400(), CpuConfig{}, sim::Rng(seed));
+    NodePowerModel node(e, cpu, NodePowerParams::nemo());
+    AcpiBattery b(e, node, AcpiBatteryParams{}, sim::Rng(seed * 7 + 1));
+    EXPECT_GE(b.refresh_period(), sim::from_seconds(15.0));
+    EXPECT_LE(b.refresh_period(), sim::from_seconds(20.0));
+  }
+}
+
+TEST(AcpiBattery, ReportedIsQuantizedToWholeMwh) {
+  BatteryFixture f;
+  f.battery.disconnect_ac();
+  f.battery.start_polling();
+  f.engine.run_until(120 * sim::kSecond);
+  const double reported = f.battery.reported_remaining_mwh();
+  EXPECT_DOUBLE_EQ(reported, std::floor(reported));
+  EXPECT_LT(reported, 53000.0);
+  f.battery.stop_polling();
+}
+
+TEST(AcpiBattery, RechargeRestoresFullCapacity) {
+  BatteryFixture f;
+  f.battery.disconnect_ac();
+  f.engine.schedule_at(100 * sim::kSecond, [] {});
+  f.engine.run();
+  EXPECT_LT(f.battery.true_remaining_mwh(), 53000.0);
+  f.battery.connect_ac();
+  f.battery.recharge_full();
+  EXPECT_DOUBLE_EQ(f.battery.true_remaining_mwh(), 53000.0);
+}
+
+TEST(AcpiBattery, MeasurementProtocolRoundTrip) {
+  // The paper's §4.2 protocol: charge, disconnect, discharge, run, read.
+  BatteryFixture f;
+  f.battery.recharge_full();
+  f.battery.disconnect_ac();
+  f.battery.start_polling();
+  f.engine.run_until(300 * sim::kSecond);  // 5-minute pre-discharge
+  const double begin = f.battery.reported_remaining_mwh();
+  const double true_begin_j = f.node.energy_joules();
+  const sim::SimTime t0 = f.engine.now();
+  // ~4-minute busy run (polling stays active, so bound the clock instead
+  // of draining the queue).
+  sim::spawn(f.engine, run_onchip(f.cpu, 1.4e9 * 240));
+  f.engine.run_until(t0 + 240 * sim::kSecond);
+  const double end = f.battery.reported_remaining_mwh();
+  const double true_j = f.node.energy_joules() - true_begin_j;
+  f.battery.stop_polling();
+  const double measured_j = (begin - end) * 3.6;
+  // Metered energy within ~12% of truth for a minutes-long run (refresh
+  // staleness at both ends partially cancels).
+  EXPECT_NEAR(measured_j, true_j, 0.12 * true_j);
+}
+
+// ---- BaytechStrip -----------------------------------------------------------
+
+TEST(Baytech, RecordsOncePerMinute) {
+  BatteryFixture f;
+  BaytechStrip strip(f.engine, {&f.node});
+  strip.start_polling();
+  f.engine.run_until(305 * sim::kSecond);
+  strip.stop_polling();
+  EXPECT_EQ(strip.records().size(), 5u);
+  EXPECT_EQ(strip.records()[0].window_end, 60 * sim::kSecond);
+}
+
+TEST(Baytech, AverageMatchesConstantPower) {
+  BatteryFixture f;
+  BaytechStrip strip(f.engine, {&f.node});
+  const double idle_watts = f.node.watts();
+  strip.start_polling();
+  f.engine.run_until(61 * sim::kSecond);
+  strip.stop_polling();
+  ASSERT_EQ(strip.records().size(), 1u);
+  EXPECT_NEAR(strip.records()[0].avg_watts[0], idle_watts, 1e-9);
+}
+
+TEST(Baytech, EnergyEstimateOverAlignedWindow) {
+  BatteryFixture f;
+  BaytechStrip strip(f.engine, {&f.node});
+  const double idle_watts = f.node.watts();
+  strip.start_polling();
+  f.engine.run_until(300 * sim::kSecond);
+  strip.stop_polling();
+  const double est = strip.estimate_energy_joules(0, 300 * sim::kSecond);
+  EXPECT_NEAR(est, idle_watts * 300.0, 1e-6);
+}
+
+TEST(Baytech, PartialWindowOverlapIsProrated) {
+  BatteryFixture f;
+  BaytechStrip strip(f.engine, {&f.node});
+  const double idle_watts = f.node.watts();
+  strip.start_polling();
+  f.engine.run_until(120 * sim::kSecond);
+  strip.stop_polling();
+  const double est = strip.estimate_energy_joules(30 * sim::kSecond, 90 * sim::kSecond);
+  EXPECT_NEAR(est, idle_watts * 60.0, 1e-6);
+}
