@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cg_phase_policies.dir/bench_ablation_cg_phase_policies.cpp.o"
+  "CMakeFiles/bench_ablation_cg_phase_policies.dir/bench_ablation_cg_phase_policies.cpp.o.d"
+  "bench_ablation_cg_phase_policies"
+  "bench_ablation_cg_phase_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cg_phase_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

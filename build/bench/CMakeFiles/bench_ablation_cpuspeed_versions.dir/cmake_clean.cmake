@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpuspeed_versions.dir/bench_ablation_cpuspeed_versions.cpp.o"
+  "CMakeFiles/bench_ablation_cpuspeed_versions.dir/bench_ablation_cpuspeed_versions.cpp.o.d"
+  "bench_ablation_cpuspeed_versions"
+  "bench_ablation_cpuspeed_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpuspeed_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

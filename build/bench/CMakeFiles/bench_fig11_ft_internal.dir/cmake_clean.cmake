@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ft_internal.dir/bench_fig11_ft_internal.cpp.o"
+  "CMakeFiles/bench_fig11_ft_internal.dir/bench_fig11_ft_internal.cpp.o.d"
+  "bench_fig11_ft_internal"
+  "bench_fig11_ft_internal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ft_internal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_swim_crescendo.dir/bench_fig2_swim_crescendo.cpp.o"
+  "CMakeFiles/bench_fig2_swim_crescendo.dir/bench_fig2_swim_crescendo.cpp.o.d"
+  "bench_fig2_swim_crescendo"
+  "bench_fig2_swim_crescendo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_swim_crescendo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cpuspeed_npb.dir/bench_fig5_cpuspeed_npb.cpp.o"
+  "CMakeFiles/bench_fig5_cpuspeed_npb.dir/bench_fig5_cpuspeed_npb.cpp.o.d"
+  "bench_fig5_cpuspeed_npb"
+  "bench_fig5_cpuspeed_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cpuspeed_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

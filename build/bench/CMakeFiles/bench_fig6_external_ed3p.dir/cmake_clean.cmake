@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_external_ed3p.dir/bench_fig6_external_ed3p.cpp.o"
+  "CMakeFiles/bench_fig6_external_ed3p.dir/bench_fig6_external_ed3p.cpp.o.d"
+  "bench_fig6_external_ed3p"
+  "bench_fig6_external_ed3p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_external_ed3p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_external_ed2p.dir/bench_fig7_external_ed2p.cpp.o"
+  "CMakeFiles/bench_fig7_external_ed2p.dir/bench_fig7_external_ed2p.cpp.o.d"
+  "bench_fig7_external_ed2p"
+  "bench_fig7_external_ed2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_external_ed2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_crescendos.dir/bench_fig8_crescendos.cpp.o"
+  "CMakeFiles/bench_fig8_crescendos.dir/bench_fig8_crescendos.cpp.o.d"
+  "bench_fig8_crescendos"
+  "bench_fig8_crescendos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_crescendos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpuspeed_daemon_demo.dir/cpuspeed_daemon_demo.cpp.o"
+  "CMakeFiles/cpuspeed_daemon_demo.dir/cpuspeed_daemon_demo.cpp.o.d"
+  "cpuspeed_daemon_demo"
+  "cpuspeed_daemon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpuspeed_daemon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_selection.dir/external_selection.cpp.o"
+  "CMakeFiles/external_selection.dir/external_selection.cpp.o.d"
+  "external_selection"
+  "external_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_internal_scheduling.dir/ft_internal_scheduling.cpp.o"
+  "CMakeFiles/ft_internal_scheduling.dir/ft_internal_scheduling.cpp.o.d"
+  "ft_internal_scheduling"
+  "ft_internal_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_internal_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cg.dir/heterogeneous_cg.cpp.o"
+  "CMakeFiles/heterogeneous_cg.dir/heterogeneous_cg.cpp.o.d"
+  "heterogeneous_cg"
+  "heterogeneous_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerpack_meters.dir/powerpack_meters.cpp.o"
+  "CMakeFiles/powerpack_meters.dir/powerpack_meters.cpp.o.d"
+  "powerpack_meters"
+  "powerpack_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerpack_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

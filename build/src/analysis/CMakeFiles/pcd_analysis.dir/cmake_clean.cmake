@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_analysis.dir/crescendo.cpp.o"
+  "CMakeFiles/pcd_analysis.dir/crescendo.cpp.o.d"
+  "CMakeFiles/pcd_analysis.dir/reference.cpp.o"
+  "CMakeFiles/pcd_analysis.dir/reference.cpp.o.d"
+  "CMakeFiles/pcd_analysis.dir/report.cpp.o"
+  "CMakeFiles/pcd_analysis.dir/report.cpp.o.d"
+  "libpcd_analysis.a"
+  "libpcd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

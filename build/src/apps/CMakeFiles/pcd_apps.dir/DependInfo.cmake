@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/npb.cpp" "src/apps/CMakeFiles/pcd_apps.dir/npb.cpp.o" "gcc" "src/apps/CMakeFiles/pcd_apps.dir/npb.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/pcd_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/pcd_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/pcd_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pcd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pcd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pcd_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

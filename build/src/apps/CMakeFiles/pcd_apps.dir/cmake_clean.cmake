@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_apps.dir/npb.cpp.o"
+  "CMakeFiles/pcd_apps.dir/npb.cpp.o.d"
+  "CMakeFiles/pcd_apps.dir/workload.cpp.o"
+  "CMakeFiles/pcd_apps.dir/workload.cpp.o.d"
+  "libpcd_apps.a"
+  "libpcd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_core.dir/cpuspeed.cpp.o"
+  "CMakeFiles/pcd_core.dir/cpuspeed.cpp.o.d"
+  "CMakeFiles/pcd_core.dir/metrics.cpp.o"
+  "CMakeFiles/pcd_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/pcd_core.dir/predictor.cpp.o"
+  "CMakeFiles/pcd_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/pcd_core.dir/runner.cpp.o"
+  "CMakeFiles/pcd_core.dir/runner.cpp.o.d"
+  "CMakeFiles/pcd_core.dir/strategies.cpp.o"
+  "CMakeFiles/pcd_core.dir/strategies.cpp.o.d"
+  "libpcd_core.a"
+  "libpcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/pcd_cpu.dir/cpu.cpp.o.d"
+  "libpcd_cpu.a"
+  "libpcd_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

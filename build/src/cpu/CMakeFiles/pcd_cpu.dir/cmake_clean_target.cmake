@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcd_cpu.a"
+)

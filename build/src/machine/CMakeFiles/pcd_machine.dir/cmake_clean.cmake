@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_machine.dir/cluster.cpp.o"
+  "CMakeFiles/pcd_machine.dir/cluster.cpp.o.d"
+  "libpcd_machine.a"
+  "libpcd_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_mpi.dir/comm.cpp.o"
+  "CMakeFiles/pcd_mpi.dir/comm.cpp.o.d"
+  "libpcd_mpi.a"
+  "libpcd_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_net.dir/network.cpp.o"
+  "CMakeFiles/pcd_net.dir/network.cpp.o.d"
+  "libpcd_net.a"
+  "libpcd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

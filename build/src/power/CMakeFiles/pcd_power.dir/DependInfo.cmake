@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/meters.cpp" "src/power/CMakeFiles/pcd_power.dir/meters.cpp.o" "gcc" "src/power/CMakeFiles/pcd_power.dir/meters.cpp.o.d"
+  "/root/repo/src/power/node_power.cpp" "src/power/CMakeFiles/pcd_power.dir/node_power.cpp.o" "gcc" "src/power/CMakeFiles/pcd_power.dir/node_power.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/power/CMakeFiles/pcd_power.dir/thermal.cpp.o" "gcc" "src/power/CMakeFiles/pcd_power.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pcd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

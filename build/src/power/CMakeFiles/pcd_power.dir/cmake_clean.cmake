@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_power.dir/meters.cpp.o"
+  "CMakeFiles/pcd_power.dir/meters.cpp.o.d"
+  "CMakeFiles/pcd_power.dir/node_power.cpp.o"
+  "CMakeFiles/pcd_power.dir/node_power.cpp.o.d"
+  "CMakeFiles/pcd_power.dir/thermal.cpp.o"
+  "CMakeFiles/pcd_power.dir/thermal.cpp.o.d"
+  "libpcd_power.a"
+  "libpcd_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

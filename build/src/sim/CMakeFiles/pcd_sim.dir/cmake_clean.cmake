@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_sim.dir/engine.cpp.o"
+  "CMakeFiles/pcd_sim.dir/engine.cpp.o.d"
+  "libpcd_sim.a"
+  "libpcd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

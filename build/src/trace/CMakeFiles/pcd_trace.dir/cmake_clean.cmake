@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcd_trace.dir/export.cpp.o"
+  "CMakeFiles/pcd_trace.dir/export.cpp.o.d"
+  "CMakeFiles/pcd_trace.dir/profile.cpp.o"
+  "CMakeFiles/pcd_trace.dir/profile.cpp.o.d"
+  "libpcd_trace.a"
+  "libpcd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpuspeed.dir/test_cpuspeed.cpp.o"
+  "CMakeFiles/test_cpuspeed.dir/test_cpuspeed.cpp.o.d"
+  "test_cpuspeed"
+  "test_cpuspeed.pdb"
+  "test_cpuspeed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpuspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/test_power.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/test_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pcd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pcd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pcd_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pcd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pcd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pcd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
