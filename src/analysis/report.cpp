@@ -61,4 +61,69 @@ std::string heading(const std::string& title) {
   return out;
 }
 
+std::string render_run_summary(const core::RunResult& result,
+                               std::size_t max_decisions) {
+  std::string out = heading("run summary: " + result.workload);
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "delay %.3f s   energy %.1f J   mean util %.2f   "
+                "dvs transitions %lld   collisions %lld   messages %lld\n",
+                result.delay_s, result.energy_j, result.mean_utilization,
+                static_cast<long long>(result.dvs_transitions),
+                static_cast<long long>(result.net_collisions),
+                static_cast<long long>(result.messages));
+  out += line;
+
+  if (result.telemetry.has_value()) {
+    const auto& t = *result.telemetry;
+
+    out += heading("top metrics");
+    TextTable metrics({"metric", "labels", "value"});
+    for (const auto& s : t.metrics) {
+      std::string labels;
+      for (const auto& [k, v] : s.labels) {
+        if (!labels.empty()) labels += ' ';
+        labels += k + "=" + v;
+      }
+      metrics.add_row({s.name, labels, fmt(s.value, 2)});
+    }
+    out += metrics.str();
+
+    if (max_decisions > 0 && !t.decisions.empty()) {
+      out += heading("dvs decisions");
+      TextTable dvs({"t (s)", "node", "mhz", "cause", "util", "detail"});
+      std::size_t shown = 0;
+      for (const auto& d : t.decisions) {
+        if (shown++ >= max_decisions) break;
+        char mhz[32];
+        std::snprintf(mhz, sizeof mhz, "%d->%d", d.from_mhz, d.to_mhz);
+        dvs.add_row({fmt(pcd::sim::to_seconds(d.t), 3), std::to_string(d.node), mhz,
+                     pcd::telemetry::to_string(d.cause),
+                     d.has_utilization() ? fmt(d.utilization, 3) : "-", d.detail});
+      }
+      out += dvs.str();
+      if (t.decisions.size() > max_decisions) {
+        std::snprintf(line, sizeof line, "(%zu more decisions not shown)\n",
+                      t.decisions.size() - max_decisions);
+        out += line;
+      }
+    }
+  }
+
+  if (result.profile.has_value()) {
+    out += heading("per-rank comm/compute balance");
+    TextTable balance({"rank", "comp (s)", "comm (s)", "comm/comp"});
+    for (std::size_t r = 0; r < result.profile->ranks.size(); ++r) {
+      const auto& rp = result.profile->ranks[r];
+      balance.add_row({std::to_string(r), fmt(rp.comp_s(), 3), fmt(rp.comm_s(), 3),
+                       fmt(rp.comm_to_comp(), 2)});
+    }
+    out += balance.str();
+    std::snprintf(line, sizeof line, "imbalance %.3f   comm/comp overall %.2f\n",
+                  result.profile->imbalance(), result.profile->comm_to_comp());
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace pcd::analysis

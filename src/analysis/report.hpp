@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/runner.hpp"
+
 namespace pcd::analysis {
 
 /// Simple fixed-width ASCII table builder.
@@ -27,5 +29,13 @@ std::string vs_paper(double measured, double paper, int precision = 2);
 
 /// Section header with a rule, used by every bench for consistent output.
 std::string heading(const std::string& title);
+
+/// Human-readable run summary: headline delay/energy numbers, then — when
+/// the run carried telemetry — the top registry metrics, the DVS decision
+/// table (time, node, transition, cause, triggering utilization), and the
+/// per-rank comm/compute balance from the trace profile.
+/// `max_decisions` caps the transition table (0 = omit it).
+std::string render_run_summary(const core::RunResult& result,
+                               std::size_t max_decisions = 20);
 
 }  // namespace pcd::analysis

@@ -1,6 +1,7 @@
 #include "core/cpuspeed.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace pcd::core {
 
@@ -35,18 +36,28 @@ void CpuspeedDaemon::tick() {
   const auto& table = node_.cpu().table();
   const auto m = table.size() - 1;
   std::size_t s = node_.cpu().op_index();
+  char why[96];
   if (usage < params_.min_threshold) {
     s = 0;
+    std::snprintf(why, sizeof why, "usage %.3f < min %.2f: jump to lowest", usage,
+                  params_.min_threshold);
   } else if (usage > params_.max_threshold) {
     s = m;
+    std::snprintf(why, sizeof why, "usage %.3f > max %.2f: jump to highest", usage,
+                  params_.max_threshold);
   } else if (usage < params_.usage_threshold) {
     s = (s == 0) ? 0 : s - 1;
+    std::snprintf(why, sizeof why, "usage %.3f < threshold %.2f: step down", usage,
+                  params_.usage_threshold);
   } else {
     s = std::min(s + 1, m);
+    std::snprintf(why, sizeof why, "usage %.3f >= threshold %.2f: step up", usage,
+                  params_.usage_threshold);
   }
   if (s != node_.cpu().op_index()) {
     ++speed_changes_;
-    node_.set_cpuspeed(table.at(s).freq_mhz);
+    node_.set_cpuspeed(table.at(s).freq_mhz, telemetry::DvsCause::DaemonThreshold,
+                       usage, why);
   }
   next_tick_ = engine_.schedule_in(sim::from_seconds(params_.interval_s),
                                    [this] { tick(); });

@@ -74,16 +74,24 @@ void PhasePredictorDaemon::tick() {
 void PhasePredictorDaemon::apply(Phase phase, double utilization) {
   const auto& table = node_.cpu().table();
   int target = table.highest().freq_mhz;
+  const char* why = "";
   switch (phase) {
-    case Phase::Compute: target = table.highest().freq_mhz; break;
-    case Phase::Slack: target = table.lowest().freq_mhz; break;
+    case Phase::Compute:
+      target = table.highest().freq_mhz;
+      why = "phase Compute: jump to highest";
+      break;
+    case Phase::Slack:
+      target = table.lowest().freq_mhz;
+      why = "phase Slack: jump to lowest";
+      break;
     case Phase::Mixed:
       target = mixed_frequency(table, utilization, params_.max_slowdown);
+      why = "phase Mixed: lowest point within slowdown budget";
       break;
   }
   if (target != node_.cpu().frequency_mhz()) {
     ++speed_changes_;
-    node_.set_cpuspeed(target);
+    node_.set_cpuspeed(target, telemetry::DvsCause::Predictor, utilization, why);
   }
 }
 

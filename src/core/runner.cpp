@@ -7,6 +7,7 @@
 
 #include "mpi/comm.hpp"
 #include "sim/process.hpp"
+#include "telemetry/export.hpp"
 
 namespace pcd::core {
 
@@ -49,6 +50,14 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   cc.nodes = workload.ranks;
   cc.seed = config.seed * 0x9e3779b97f4a7c15ULL + 0x1234567;
   machine::Cluster cluster(engine, cc);
+
+  // --- telemetry (attach before any strategy acts, so EXTERNAL static
+  // sets and meter-protocol events are captured too) ---
+  std::unique_ptr<telemetry::Hub> hub;
+  if (config.telemetry.enabled) {
+    hub = std::make_unique<telemetry::Hub>();
+    cluster.attach_telemetry(hub.get());
+  }
 
   // --- measurement protocol (paper §4.2) ---
   if (config.use_meters) {
@@ -97,6 +106,30 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   std::unique_ptr<trace::Tracer> tracer;
   if (config.collect_trace) {
     tracer = std::make_unique<trace::Tracer>(engine, workload.ranks);
+  }
+
+  // The sampler only *reads* cluster state, so enabling it cannot perturb
+  // delay or energy; it starts here so the series covers the run window.
+  std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+  if (hub != nullptr && config.telemetry.sample) {
+    sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+        engine, cluster.size(), config.telemetry.sampler,
+        [&cluster](int i) {
+          auto& node = cluster.node(i);
+          const auto bd = node.power().breakdown();
+          telemetry::NodeProbe p;
+          p.freq_mhz = node.cpu().frequency_mhz();
+          p.busy_weighted_ns = node.cpu().busy_weighted_ns();
+          p.watts_cpu = bd.cpu;
+          p.watts_memory = bd.memory;
+          p.watts_disk = bd.disk;
+          p.watts_nic = bd.nic;
+          p.watts_other = bd.other;
+          return p;
+        },
+        &hub->registry());
+    sampler->start();
+    stoppers.push_back([s = sampler.get()] { s->stop(); });
   }
 
   std::vector<int> node_ids(workload.ranks);
@@ -177,6 +210,16 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   if (tracer) {
     result.profile = trace::analyze(*tracer);
     result.timeline = trace::render_timeline(*tracer);
+  }
+
+  if (hub != nullptr) {
+    auto& reg = hub->registry();
+    reg.gauge("run_delay_seconds").set(result.delay_s);
+    reg.gauge("run_energy_joules").set(result.energy_j);
+    reg.counter("mpi_messages_total").inc(static_cast<double>(result.messages));
+    auto snap = telemetry::make_snapshot(*hub, sampler.get());
+    snap.chrome_trace_json = telemetry::to_chrome_json(snap, tracer.get());
+    result.telemetry = std::move(snap);
   }
   return result;
 }

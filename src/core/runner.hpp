@@ -18,6 +18,8 @@
 #include "core/cpuspeed.hpp"
 #include "core/predictor.hpp"
 #include "machine/cluster.hpp"
+#include "telemetry/options.hpp"
+#include "telemetry/snapshot.hpp"
 #include "trace/profile.hpp"
 
 namespace pcd::core {
@@ -42,6 +44,11 @@ struct RunConfig {
 
   /// Collect an MPE-style trace and attach the profile to the result.
   bool collect_trace = false;
+
+  /// Telemetry layer: metrics registry, DVS decision log, time-series
+  /// sampler; the result then carries a TelemetrySnapshot with Chrome
+  /// trace / Prometheus / CSV exports available on it.
+  telemetry::TelemetryOptions telemetry;
 
   /// Follow the full ACPI/Baytech measurement protocol (adds a 5-minute
   /// pre-discharge and meter polling; slower, quantized readings).
@@ -68,6 +75,10 @@ struct RunResult {
   double mean_utilization = 0;
   std::optional<trace::TraceProfile> profile;
   std::string timeline;  // rendered trace, if collected
+  /// Everything the telemetry layer collected (when enabled): registry
+  /// snapshot, decision log, completed transitions, sampler series, and a
+  /// ready-rendered Chrome trace-event JSON.
+  std::optional<telemetry::TelemetrySnapshot> telemetry;
 };
 
 /// Executes one measured run.

@@ -124,6 +124,11 @@ void Cpu::end_transition() {
   op_index_ = transition_to_;
   ++stats_.transitions;
   transitioning_ = false;
+  if (telemetry_ != nullptr) {
+    telemetry_->record_transition({engine_.now(), telemetry_node_,
+                                   table_.at(transition_from_).freq_mhz,
+                                   table_.at(transition_to_).freq_mhz});
+  }
   if (pending_target_.has_value()) {
     const std::size_t next = *pending_target_;
     pending_target_.reset();

@@ -30,6 +30,7 @@
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "telemetry/hub.hpp"
 
 namespace pcd::cpu {
 
@@ -133,6 +134,7 @@ class Cpu {
   /// Requests arriving mid-transition coalesce to the latest target.
   void set_frequency_mhz(int freq_mhz);
 
+  sim::Engine& engine() const { return engine_; }
   int frequency_mhz() const { return table_.at(op_index_).freq_mhz; }
   std::size_t op_index() const { return op_index_; }
   bool transitioning() const { return transitioning_; }
@@ -163,6 +165,14 @@ class Cpu {
   /// operating-point change so it can integrate the elapsed interval at the
   /// old power level (the node power model subscribes here).
   void set_change_listener(std::function<void()> cb) { listener_ = std::move(cb); }
+
+  /// Attaches the telemetry hub: every *completed* transition is reported
+  /// with the exact instant the new operating point became active.  Null
+  /// detaches (telemetry off).
+  void attach_telemetry(telemetry::Hub* hub, int node_id) {
+    telemetry_ = hub;
+    telemetry_node_ = node_id;
+  }
 
  private:
   struct ActiveWork {
@@ -212,6 +222,8 @@ class Cpu {
   double busy_weighted_accum_ns_ = 0;
   CpuStats stats_;
   std::function<void()> listener_;
+  telemetry::Hub* telemetry_ = nullptr;
+  int telemetry_node_ = -1;
 };
 
 }  // namespace pcd::cpu

@@ -1,5 +1,6 @@
 #include "machine/cluster.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace pcd::machine {
@@ -25,7 +26,16 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
 }
 
 void Cluster::set_all_cpuspeed(int mhz) {
-  for (auto& n : nodes_) n->set_cpuspeed(mhz);
+  for (auto& n : nodes_) {
+    n->set_cpuspeed(mhz, telemetry::DvsCause::External,
+                    std::numeric_limits<double>::quiet_NaN(), "psetcpuspeed");
+  }
+}
+
+void Cluster::attach_telemetry(telemetry::Hub* hub) {
+  for (auto& n : nodes_) n->attach_telemetry(hub);
+  network_->attach_telemetry(hub);
+  baytech_->attach_telemetry(hub);
 }
 
 double Cluster::total_energy_joules() const {

@@ -40,6 +40,11 @@ class Cluster {
   /// EXTERNAL control: "psetcpuspeed <mhz>" — set every node statically.
   void set_all_cpuspeed(int mhz);
 
+  /// Wires the telemetry hub through the whole machine: node DVS decision
+  /// logging, CPU transition events, ACPI/Baytech meter counters, and
+  /// network collision/backoff counters.  Null detaches everywhere.
+  void attach_telemetry(telemetry::Hub* hub);
+
   /// Exact total cluster energy so far (sum of node integrators).
   double total_energy_joules() const;
 

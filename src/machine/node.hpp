@@ -3,11 +3,16 @@
 
 #include <memory>
 
+#include <limits>
+#include <string>
+#include <utility>
+
 #include "cpu/cpu.hpp"
 #include "power/meters.hpp"
 #include "power/node_power.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "telemetry/hub.hpp"
 
 namespace pcd::machine {
 
@@ -38,10 +43,32 @@ class Node {
   const power::AcpiBattery& battery() const { return battery_; }
 
   /// The PowerPack DVS control entry point (set_cpuspeed in Figure 3).
-  void set_cpuspeed(int mhz) { cpu_.set_frequency_mhz(mhz); }
+  /// Strategy code passes its cause (and, for the daemons, the utilization
+  /// sample that triggered the decision) so the telemetry decision log can
+  /// answer *why* a node changed speed.  No-op requests (already at `mhz`)
+  /// are not logged, matching the CPU's "writing the current speed costs
+  /// nothing" semantics.
+  void set_cpuspeed(int mhz, telemetry::DvsCause cause = telemetry::DvsCause::Api,
+                    double utilization = std::numeric_limits<double>::quiet_NaN(),
+                    std::string detail = {}) {
+    if (telemetry_ != nullptr && mhz != cpu_.frequency_mhz()) {
+      telemetry_->record_decision({cpu_.engine().now(), id_, cpu_.frequency_mhz(),
+                                   mhz, cause, utilization, std::move(detail)});
+    }
+    cpu_.set_frequency_mhz(mhz);
+  }
+
+  /// Attaches (or detaches, with null) the telemetry hub to this node: DVS
+  /// decisions are logged here and completed transitions at the CPU.
+  void attach_telemetry(telemetry::Hub* hub) {
+    telemetry_ = hub;
+    cpu_.attach_telemetry(hub, id_);
+    battery_.attach_telemetry(hub, id_);
+  }
 
  private:
   int id_;
+  telemetry::Hub* telemetry_ = nullptr;
   cpu::Cpu cpu_;
   power::NodePowerModel power_;
   power::AcpiBattery battery_;

@@ -17,6 +17,18 @@ Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng 
   if (nodes <= 0) throw std::invalid_argument("network needs at least one node");
 }
 
+void Network::attach_telemetry(telemetry::Hub* hub) {
+  if (hub == nullptr) {
+    m_transfers_ = m_bytes_ = m_collisions_ = m_backoff_s_ = nullptr;
+    return;
+  }
+  auto& reg = hub->registry();
+  m_transfers_ = &reg.counter("net_transfers_total");
+  m_bytes_ = &reg.counter("net_bytes_total");
+  m_collisions_ = &reg.counter("net_collisions_total");
+  m_backoff_s_ = &reg.counter("net_backoff_seconds_total");
+}
+
 sim::SimDuration Network::uncontended_time(std::int64_t bytes) const {
   const double wire_s = static_cast<double>(bytes) * 8.0 / (params_.bandwidth_mbps * 1e6);
   return params_.latency + sim::from_seconds(wire_s);
@@ -42,6 +54,10 @@ void Network::start_transfer(int src, int dst, std::int64_t bytes, double speed_
   ++in_flight_;
   ++stats_.transfers;
   stats_.bytes += bytes;
+  if (m_transfers_ != nullptr) {
+    m_transfers_->inc();
+    m_bytes_->inc(static_cast<double>(bytes));
+  }
   sim::spawn(engine_, transfer_proc(src, dst, bytes, speed_ratio, h));
 }
 
@@ -73,6 +89,10 @@ sim::Process Network::transfer_proc(int src, int dst, std::int64_t bytes,
       service += backoff;
       ++stats_.collisions;
       stats_.backoff_ns += backoff;
+      if (m_collisions_ != nullptr) {
+        m_collisions_->inc();
+        m_backoff_s_->inc(sim::to_seconds(backoff));
+      }
     }
   }
 

@@ -31,6 +31,7 @@
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "telemetry/hub.hpp"
 
 namespace pcd::net {
 
@@ -70,6 +71,11 @@ class Network {
   /// Transfers posted but not yet delivered (queued or on the wire) — the
   /// offered load driving the collision probability.
   int in_flight() const { return in_flight_; }
+
+  /// Mirrors NetworkStats into the registry (net_transfers_total,
+  /// net_bytes_total, net_collisions_total, net_backoff_seconds_total).
+  /// Null detaches.
+  void attach_telemetry(telemetry::Hub* hub);
 
   /// Awaitable point-to-point transfer.  `speed_ratio` is the injecting
   /// CPU's current frequency divided by its maximum (drives the collision
@@ -127,6 +133,10 @@ class Network {
   std::vector<Port> ingress_;
   int in_flight_ = 0;
   NetworkStats stats_;
+  telemetry::Counter* m_transfers_ = nullptr;
+  telemetry::Counter* m_bytes_ = nullptr;
+  telemetry::Counter* m_collisions_ = nullptr;
+  telemetry::Counter* m_backoff_s_ = nullptr;
 };
 
 }  // namespace pcd::net

@@ -68,7 +68,14 @@ void AcpiBattery::stop_polling() {
 
 void AcpiBattery::refresh_tick() {
   reported_mwh_ = quantize(true_remaining_mwh());
+  if (refreshes_ != nullptr) refreshes_->inc();
   next_tick_ = engine_.schedule_in(refresh_period_, [this] { refresh_tick(); });
+}
+
+void AcpiBattery::attach_telemetry(telemetry::Hub* hub, int node_id) {
+  refreshes_ = hub == nullptr ? nullptr
+                              : &hub->registry().counter("acpi_refreshes_total",
+                                                         telemetry::label("node", node_id));
 }
 
 BaytechStrip::BaytechStrip(sim::Engine& engine, std::vector<NodePowerModel*> outlets,
@@ -102,8 +109,14 @@ void BaytechStrip::tick() {
     joules_at_window_start_[i] = joules;
   }
   records_.push_back(std::move(rec));
+  if (windows_ != nullptr) windows_->inc();
   window_start_ = engine_.now();
   next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
+}
+
+void BaytechStrip::attach_telemetry(telemetry::Hub* hub) {
+  windows_ = hub == nullptr ? nullptr
+                            : &hub->registry().counter("baytech_windows_total");
 }
 
 double BaytechStrip::estimate_energy_joules(sim::SimTime t0, sim::SimTime t1) const {

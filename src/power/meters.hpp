@@ -17,6 +17,7 @@
 #include "power/node_power.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "telemetry/hub.hpp"
 
 namespace pcd::power {
 
@@ -58,6 +59,10 @@ class AcpiBattery {
   const AcpiBatteryParams& params() const { return params_; }
   sim::SimDuration refresh_period() const { return refresh_period_; }
 
+  /// Counts ACPI refresh events as acpi_refreshes_total{node=...} so the
+  /// measurement protocol's staleness window is observable.  Null detaches.
+  void attach_telemetry(telemetry::Hub* hub, int node_id);
+
  private:
   void refresh_tick();
   double quantize(double mwh) const;
@@ -76,6 +81,7 @@ class AcpiBattery {
 
   bool polling_ = false;
   std::optional<sim::EventId> next_tick_;
+  telemetry::Counter* refreshes_ = nullptr;
 };
 
 struct BaytechParams {
@@ -109,6 +115,9 @@ class BaytechStrip {
   /// used to verify ACPI numbers.
   double estimate_energy_joules(sim::SimTime t0, sim::SimTime t1) const;
 
+  /// Counts completed one-minute windows as baytech_windows_total.
+  void attach_telemetry(telemetry::Hub* hub);
+
  private:
   void tick();
 
@@ -120,6 +129,7 @@ class BaytechStrip {
   std::vector<BaytechRecord> records_;
   bool polling_ = false;
   std::optional<sim::EventId> next_tick_;
+  telemetry::Counter* windows_ = nullptr;
 };
 
 }  // namespace pcd::power

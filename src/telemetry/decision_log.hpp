@@ -1,0 +1,88 @@
+// Structured DVS decision log: every frequency-change *request* records
+// sim-time, node, from/to MHz, and the cause that triggered it — the
+// CPUSPEED daemon threshold trip (with the utilization reading), an
+// EXTERNAL static set, an INTERNAL application hook, or the phase
+// predictor.  Answers "why did node 3 downshift at t=4.2 s?" without
+// recompiling with printf.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pcd::telemetry {
+
+enum class DvsCause : std::uint8_t {
+  DaemonThreshold,  // CPUSPEED daemon threshold trip (utilization attached)
+  External,         // static set before the run (psetcpuspeed)
+  Internal,         // application hook (set_cpuspeed at a source insertion)
+  Predictor,        // phase-predictor daemon decision
+  Api,              // direct set_cpuspeed() call with no strategy context
+};
+
+inline const char* to_string(DvsCause c) {
+  switch (c) {
+    case DvsCause::DaemonThreshold: return "daemon";
+    case DvsCause::External: return "external";
+    case DvsCause::Internal: return "internal";
+    case DvsCause::Predictor: return "predictor";
+    case DvsCause::Api: return "api";
+  }
+  return "?";
+}
+
+struct DvsDecision {
+  sim::SimTime t = 0;
+  int node = -1;
+  int from_mhz = 0;
+  int to_mhz = 0;
+  DvsCause cause = DvsCause::Api;
+  /// The utilization sample that triggered the decision; NaN when the
+  /// cause carries no utilization (External/Internal/Api).
+  double utilization = std::numeric_limits<double>::quiet_NaN();
+  /// Human-readable trigger, e.g. "usage 0.23 < threshold 0.85: step down"
+  /// or the hook label "before mpi_alltoall".
+  std::string detail;
+
+  bool has_utilization() const { return !std::isnan(utilization); }
+};
+
+class DecisionLog {
+ public:
+  /// `capacity` bounds memory on pathological runs; once full, new entries
+  /// are counted in dropped() but not stored.
+  explicit DecisionLog(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  void record(DvsDecision d) {
+    if (entries_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    entries_.push_back(std::move(d));
+  }
+
+  const std::vector<DvsDecision>& entries() const { return entries_; }
+  std::int64_t dropped() const { return dropped_; }
+
+  std::vector<DvsDecision> for_node(int node) const {
+    std::vector<DvsDecision> out;
+    for (const auto& d : entries_) {
+      if (d.node == node) out.push_back(d);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<DvsDecision> entries_;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace pcd::telemetry

@@ -1,0 +1,198 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pcd::telemetry {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  // %.17g round-trips doubles but prints integers compactly.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string prom_series(const std::string& name, const Labels& labels,
+                        const std::string& extra_label, double value) {
+  std::string line = name;
+  if (!labels.empty() || !extra_label.empty()) {
+    line += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) line += ',';
+      first = false;
+      line += k + "=\"" + escape(v) + "\"";
+    }
+    if (!extra_label.empty()) {
+      if (!first) line += ',';
+      line += extra_label;
+    }
+    line += '}';
+  }
+  line += ' ' + fmt_value(value) + '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string to_prometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const auto& s : samples) {
+    if (last_family == nullptr || *last_family != s.name) {
+      out += "# TYPE " + s.name + ' ' + to_string(s.type) + '\n';
+      last_family = &s.name;
+    }
+    if (s.type == MetricType::Histogram) {
+      for (std::size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+        out += prom_series(s.name + "_bucket", s.labels,
+                           "le=\"" + fmt_value(s.bucket_bounds[i]) + "\"",
+                           static_cast<double>(s.bucket_counts[i]));
+      }
+      out += prom_series(s.name + "_bucket", s.labels, "le=\"+Inf\"",
+                         static_cast<double>(s.count));
+      out += prom_series(s.name + "_sum", s.labels, "", s.value);
+      out += prom_series(s.name + "_count", s.labels, "",
+                         static_cast<double>(s.count));
+    } else {
+      out += prom_series(s.name, s.labels, "", s.value);
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  return to_prometheus(registry.samples());
+}
+
+std::string to_chrome_json(const TelemetrySnapshot& snapshot,
+                           const trace::Tracer* tracer) {
+  // Collect (ts, json) pairs, sort by ts so the stream is monotone.
+  struct Ev {
+    double ts;
+    std::string json;
+  };
+  std::vector<Ev> events;
+  char buf[512];
+
+  auto us = [](sim::SimTime t) { return static_cast<double>(t) / 1000.0; };
+
+  if (tracer != nullptr) {
+    for (int rank = 0; rank < tracer->ranks(); ++rank) {
+      for (const auto& r : tracer->records(rank)) {
+        const char* name = (r.label != nullptr && r.label[0] != '\0')
+                               ? r.label
+                               : trace::to_string(r.cat);
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
+                      "\"args\":{\"peer\":%d,\"bytes\":%lld}}",
+                      escape(name).c_str(), trace::to_string(r.cat), us(r.begin),
+                      us(r.end - r.begin), rank, r.peer,
+                      static_cast<long long>(r.bytes));
+        events.push_back({us(r.begin), buf});
+      }
+    }
+  }
+
+  for (const auto& t : snapshot.transitions) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"dvs %d->%d\",\"cat\":\"dvs\",\"ph\":\"i\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\","
+                  "\"args\":{\"from_mhz\":%d,\"to_mhz\":%d}}",
+                  t.from_mhz, t.to_mhz, us(t.t), t.node, t.from_mhz, t.to_mhz);
+    events.push_back({us(t.t), buf});
+  }
+
+  for (const auto& d : snapshot.decisions) {
+    std::string args = "{\"from_mhz\":" + std::to_string(d.from_mhz) +
+                       ",\"to_mhz\":" + std::to_string(d.to_mhz) +
+                       ",\"cause\":\"" + to_string(d.cause) + "\"";
+    if (d.has_utilization()) args += ",\"utilization\":" + fmt_value(d.utilization);
+    if (!d.detail.empty()) args += ",\"detail\":\"" + escape(d.detail) + "\"";
+    args += '}';
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"decision %s\",\"cat\":\"dvs_decision\",\"ph\":\"i\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":%s}",
+                  to_string(d.cause), us(d.t), d.node, args.c_str());
+    events.push_back({us(d.t), buf});
+  }
+
+  for (std::size_t node = 0; node < snapshot.series.size(); ++node) {
+    for (const auto& s : snapshot.series[node]) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"node%zu power\",\"cat\":\"sampler\",\"ph\":\"C\","
+                    "\"ts\":%.3f,\"pid\":1,"
+                    "\"args\":{\"cpu\":%.3f,\"memory\":%.3f,\"disk\":%.3f,"
+                    "\"nic\":%.3f,\"other\":%.3f}}",
+                    node, us(s.t), s.watts_cpu, s.watts_memory, s.watts_disk,
+                    s.watts_nic, s.watts_other);
+      events.push_back({us(s.t), buf});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.ts < b.ts; });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"ts\":0,"
+         "\"args\":{\"name\":\"ranks\"}},\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"ts\":0,"
+         "\"args\":{\"name\":\"nodes\"}}";
+  for (const auto& e : events) {
+    out += ",\n";
+    out += e.json;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string series_csv(const TelemetrySnapshot& snapshot) {
+  std::string out =
+      "node,t_s,freq_mhz,utilization,watts_cpu,watts_memory,watts_disk,"
+      "watts_nic,watts_other,watts_total\n";
+  char line[256];
+  for (std::size_t node = 0; node < snapshot.series.size(); ++node) {
+    for (const auto& s : snapshot.series[node]) {
+      std::snprintf(line, sizeof line,
+                    "%zu,%.9f,%d,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", node,
+                    sim::to_seconds(s.t), s.freq_mhz, s.utilization, s.watts_cpu,
+                    s.watts_memory, s.watts_disk, s.watts_nic, s.watts_other,
+                    s.watts_total());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string decisions_csv(const TelemetrySnapshot& snapshot) {
+  std::string out = "t_s,node,from_mhz,to_mhz,cause,utilization,detail\n";
+  char line[384];
+  for (const auto& d : snapshot.decisions) {
+    std::snprintf(line, sizeof line, "%.9f,%d,%d,%d,%s,%s,\"%s\"\n",
+                  sim::to_seconds(d.t), d.node, d.from_mhz, d.to_mhz,
+                  to_string(d.cause),
+                  d.has_utilization() ? fmt_value(d.utilization).c_str() : "",
+                  escape(d.detail).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pcd::telemetry

@@ -1,0 +1,57 @@
+// The telemetry hub: the one object threaded through the stack.
+//
+// Owns the metrics registry and the DVS decision log, and collects the
+// stream of *completed* frequency transitions reported by the CPU model
+// (the decision log records requests with their cause; the transition
+// stream records what the hardware actually did, with the exact sim-time
+// at which the new operating point became active).  Components hold a
+// nullable `Hub*` — a null hub means telemetry off and near-zero cost.
+#pragma once
+
+#include <vector>
+
+#include "telemetry/decision_log.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pcd::telemetry {
+
+/// One completed DVS transition as observed at the CPU.
+struct DvsTransition {
+  sim::SimTime t = 0;  // instant the new operating point became active
+  int node = -1;
+  int from_mhz = 0;
+  int to_mhz = 0;
+};
+
+class Hub {
+ public:
+  Hub() = default;
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  DecisionLog& decisions() { return decisions_; }
+  const DecisionLog& decisions() const { return decisions_; }
+
+  /// Called by the policy layer at request time (cause attribution).
+  void record_decision(DvsDecision d) {
+    registry_.counter("dvs_decisions_total", {{"cause", to_string(d.cause)}}).inc();
+    decisions_.record(std::move(d));
+  }
+
+  /// Called by the CPU model when a transition stall completes.
+  void record_transition(const DvsTransition& t) {
+    registry_.counter("dvs_transitions_total", label("node", t.node)).inc();
+    transitions_.push_back(t);
+  }
+
+  const std::vector<DvsTransition>& transitions() const { return transitions_; }
+
+ private:
+  MetricsRegistry registry_;
+  DecisionLog decisions_;
+  std::vector<DvsTransition> transitions_;
+};
+
+}  // namespace pcd::telemetry

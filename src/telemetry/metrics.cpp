@@ -1,0 +1,145 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcd::telemetry {
+
+const char* to_string(MetricType t) {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  if (upper_bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  cumulative_.assign(upper_bounds_.size(), 0);
+}
+
+void Histogram::observe(double v) {
+  // Cumulative buckets: every bound >= v counts the observation.
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  for (std::size_t i = it - upper_bounds_.begin(); i < cumulative_.size(); ++i) {
+    ++cumulative_[i];
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::string label_string(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  return out;
+}
+
+Labels label(const std::string& key, const std::string& value) {
+  return Labels{{key, value}};
+}
+
+Labels label(const std::string& key, std::int64_t value) {
+  return Labels{{key, std::to_string(value)}};
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 MetricType type) {
+  auto [it, inserted] = families_.try_emplace(name, Family{type, {}, {}, {}, {}});
+  if (!inserted && it->second.type != type) {
+    throw std::logic_error("metric '" + name + "' re-registered as " +
+                           to_string(type) + ", was " + to_string(it->second.type));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  Family& f = family(name, MetricType::Counter);
+  const std::string key = label_string(labels);
+  auto it = f.counters.find(key);
+  if (it == f.counters.end()) {
+    it = f.counters.emplace(key, std::make_unique<Counter>()).first;
+    f.label_sets.emplace(key, std::move(labels));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  Family& f = family(name, MetricType::Gauge);
+  const std::string key = label_string(labels);
+  auto it = f.gauges.find(key);
+  if (it == f.gauges.end()) {
+    it = f.gauges.emplace(key, std::make_unique<Gauge>()).first;
+    f.label_sets.emplace(key, std::move(labels));
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      std::vector<double> upper_bounds) {
+  Family& f = family(name, MetricType::Histogram);
+  const std::string key = label_string(labels);
+  auto it = f.histograms.find(key);
+  if (it == f.histograms.end()) {
+    it = f.histograms.emplace(key, std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+    f.label_sets.emplace(key, std::move(labels));
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::vector<MetricSample> out;
+  for (const auto& [name, f] : families_) {
+    auto base = [&](const std::string& key) {
+      MetricSample s;
+      s.name = name;
+      s.type = f.type;
+      s.labels = f.label_sets.at(key);
+      return s;
+    };
+    for (const auto& [key, c] : f.counters) {
+      MetricSample s = base(key);
+      s.value = c->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [key, g] : f.gauges) {
+      MetricSample s = base(key);
+      s.value = g->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [key, h] : f.histograms) {
+      MetricSample s = base(key);
+      s.value = h->sum();
+      s.bucket_bounds = h->upper_bounds();
+      s.bucket_counts = h->bucket_counts();
+      s.count = h->count();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, f] : families_) {
+    n += f.counters.size() + f.gauges.size() + f.histograms.size();
+  }
+  return n;
+}
+
+}  // namespace pcd::telemetry

@@ -1,0 +1,122 @@
+// Label-aware metrics registry: counters, gauges, and fixed-bucket
+// histograms, keyed by metric name + label set (e.g. node, rank, cause).
+//
+// Designed to be cheap enough to stay on in every run: instrument lookup
+// (`counter()`, `gauge()`, `histogram()`) interns the (name, labels) pair
+// once and returns a stable handle; hot paths hold the handle and pay one
+// add per event.  The registry itself is engine-agnostic — simulation
+// timestamps only enter through the decision log and sampler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcd::telemetry {
+
+/// Label set as sorted key/value pairs ("node" -> "3").  Kept sorted so
+/// {a=1,b=2} and {b=2,a=1} intern to the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket cumulative histogram (Prometheus semantics: bucket i counts
+/// observations <= upper_bounds[i]; an implicit +Inf bucket is `count()`).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Cumulative count of observations <= upper_bounds()[i].
+  const std::vector<std::int64_t>& bucket_counts() const { return cumulative_; }
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> upper_bounds_;   // sorted ascending
+  std::vector<std::int64_t> cumulative_;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+};
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+const char* to_string(MetricType t);
+
+/// One exported time-point of one instrument (flattened registry view).
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::Counter;
+  double value = 0;  // counter/gauge value; histogram sum
+  // Histogram-only payload (empty otherwise).
+  std::vector<double> bucket_bounds;
+  std::vector<std::int64_t> bucket_counts;
+  std::int64_t count = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Interns and returns the instrument for (name, labels).  Handles are
+  /// stable for the registry's lifetime.  Registering the same name with a
+  /// different instrument type throws std::logic_error.
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels,
+                       std::vector<double> upper_bounds);
+
+  /// Flattened snapshot of every instrument, families sorted by name and
+  /// series sorted by label string — the exporters' input.
+  std::vector<MetricSample> samples() const;
+
+  std::size_t series_count() const;
+
+ private:
+  struct Family {
+    MetricType type;
+    // Keyed by the canonical label string; pointers stay valid on insert.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, Labels> label_sets;
+  };
+
+  Family& family(const std::string& name, MetricType type);
+
+  std::map<std::string, Family> families_;
+};
+
+/// Canonical `k="v",k2="v2"` form of a label set (sorted by key).
+std::string label_string(const Labels& labels);
+
+/// Convenience: a one-label set, with the common int-valued case.
+Labels label(const std::string& key, const std::string& value);
+Labels label(const std::string& key, std::int64_t value);
+
+}  // namespace pcd::telemetry

@@ -1,0 +1,16 @@
+// Run-level telemetry switches (RunConfig::telemetry).
+#pragma once
+
+#include "telemetry/sampler.hpp"
+
+namespace pcd::telemetry {
+
+struct TelemetryOptions {
+  /// Master switch: registry + decision log + transition stream + exports.
+  bool enabled = false;
+  /// Run the engine-driven time-series sampler (per-node power/freq/util).
+  bool sample = true;
+  SamplerParams sampler;
+};
+
+}  // namespace pcd::telemetry

@@ -72,9 +72,14 @@ class Tracer {
       active_ = true;
     }
     ~Scope() { close(); }
+    // The moved-from scope must drop its flags as well as its tracer
+    // pointer: close() currently short-circuits on the null tracer, but a
+    // stale counted_comm_/active_ would double-decrement comm_depth_ the
+    // moment close() grew another early-out path.
     Scope(Scope&& o) noexcept
         : tracer_(std::exchange(o.tracer_, nullptr)), rank_(o.rank_), rec_(o.rec_),
-          active_(o.active_), counted_comm_(o.counted_comm_) {}
+          active_(std::exchange(o.active_, false)),
+          counted_comm_(std::exchange(o.counted_comm_, false)) {}
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
     Scope& operator=(Scope&&) = delete;
