@@ -74,6 +74,14 @@ std::string render_run_summary(const core::RunResult& result,
                 static_cast<long long>(result.messages));
   out += line;
 
+  if (result.failed) {
+    out += "RUN FAILED: " + result.failure + "\n";
+  }
+  if (result.fault_report.has_value()) {
+    out += heading("faults and resilience");
+    out += result.fault_report->summary();
+  }
+
   if (result.telemetry.has_value()) {
     const auto& t = *result.telemetry;
 

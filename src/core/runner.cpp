@@ -1,10 +1,14 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <tuple>
 
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "mpi/comm.hpp"
 #include "sim/process.hpp"
 #include "telemetry/export.hpp"
@@ -15,6 +19,8 @@ namespace {
 
 struct Completion {
   bool done = false;
+  bool failed = false;
+  std::string failure;
   sim::SimTime t_end = 0;
   double energy_end = 0;
 };
@@ -27,10 +33,57 @@ sim::Process completion_watcher(std::vector<sim::Process>& ranks, sim::Engine& e
                                 std::vector<std::function<void()>>& stoppers,
                                 Completion* out) {
   for (auto& p : ranks) co_await p;
+  if (out->done) co_return;  // the progress watchdog already failed the run
   out->t_end = engine.now();
   out->energy_end = cluster.total_energy_joules();
   for (auto& stop : stoppers) stop();
   out->done = true;
+}
+
+// Fails the run (structured, not a hang) when nothing has made progress for
+// `timeout_s`: no MPI message delivered, no CPU work unit retired, no rank
+// finished.  That is the signature of a crashed node with no
+// checkpoint/restart — the survivors block inside MPI forever while the
+// daemons keep the event queue alive.
+sim::Process progress_watchdog(sim::Engine& engine, machine::Cluster& cluster,
+                               mpi::Comm& comm, std::vector<sim::Process>& ranks,
+                               std::vector<std::function<void()>>& stoppers,
+                               double timeout_s, Completion* out) {
+  auto signature = [&] {
+    std::int64_t work = 0;
+    for (int i = 0; i < cluster.size(); ++i) {
+      work += cluster.node(i).cpu().stats().work_completed;
+    }
+    std::int64_t done_ranks = 0;
+    for (const auto& p : ranks) done_ranks += p.done() ? 1 : 0;
+    return std::tuple{comm.stats().messages, work, done_ranks};
+  };
+  auto last = signature();
+  sim::SimTime last_change = engine.now();
+  const auto poll = sim::from_seconds(std::max(0.25, timeout_s / 4.0));
+  while (!out->done) {
+    co_await sim::delay(poll);
+    if (out->done) co_return;
+    const auto cur = signature();
+    if (cur != last) {
+      last = cur;
+      last_change = engine.now();
+      continue;
+    }
+    if (sim::to_seconds(engine.now() - last_change) < timeout_s) continue;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "MPI progress timeout: no message, work, or rank completion "
+                  "for %.1f s (%lld/%zu ranks finished)",
+                  timeout_s, static_cast<long long>(std::get<2>(cur)), ranks.size());
+    out->failed = true;
+    out->failure = buf;
+    out->t_end = engine.now();
+    out->energy_end = cluster.total_energy_joules();
+    for (auto& stop : stoppers) stop();
+    out->done = true;
+    co_return;
+  }
 }
 
 double median(std::vector<double> v) {
@@ -103,6 +156,63 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
     }
   }
 
+  // --- fault layer (src/fault) ---
+  //
+  // Everything here is skipped for an empty plan: no RNG stream is drawn
+  // (the injector split happens only when the plan injects, *after* the
+  // daemon stagger draws), nothing is scheduled, nothing is observed.
+  const fault::FaultPlan& plan = config.faults;
+  std::optional<fault::FaultReport> fault_report;
+  std::unique_ptr<fault::CheckpointService> ckpt;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::vector<std::unique_ptr<fault::DaemonWatchdog>> watchdogs;
+  double mpi_timeout_s = plan.resilience.mpi_timeout_s;
+  if (mpi_timeout_s == 0) mpi_timeout_s = plan.injects() ? 60.0 : -1.0;
+  if (plan.active()) {
+    fault_report.emplace();
+    if (plan.resilience.checkpoint_interval_s > 0) {
+      ckpt = std::make_unique<fault::CheckpointService>(
+          engine, cluster, plan.resilience.checkpoint_interval_s,
+          plan.resilience.checkpoint_cost_s, &*fault_report, hub.get());
+      stoppers.push_back([c = ckpt.get()] { c->stop(); });
+    }
+    if (plan.injects()) {
+      injector = std::make_unique<fault::FaultInjector>(
+          engine, cluster, plan, cluster.rng_stream(), &*fault_report);
+      injector->attach_telemetry(hub.get());
+      if (ckpt != nullptr) injector->set_checkpoint_service(ckpt.get());
+      if (!daemons.empty()) {
+        injector->set_daemon_wedger([&daemons](int n) { daemons.at(n)->stop(); });
+      } else if (!predictors.empty()) {
+        injector->set_daemon_wedger([&predictors](int n) { predictors.at(n)->stop(); });
+      }
+      stoppers.push_back([inj = injector.get()] { inj->disarm(); });
+    }
+    if (plan.resilience.watchdog) {
+      for (int i = 0; i < cluster.size(); ++i) {
+        fault::DaemonHooks hooks;
+        if (!daemons.empty()) {
+          auto* d = daemons[static_cast<std::size_t>(i)].get();
+          hooks.polls = [d] { return d->polls(); };
+          hooks.restart = [d] { d->start(); };
+          hooks.disable = [d] { d->stop(); };
+          hooks.expected_poll_interval_s = config.daemon->interval_s;
+        } else if (!predictors.empty()) {
+          auto* d = predictors[static_cast<std::size_t>(i)].get();
+          hooks.polls = [d] { return d->polls(); };
+          hooks.restart = [d] { d->start(); };
+          hooks.disable = [d] { d->stop(); };
+          hooks.expected_poll_interval_s = config.predictor->interval_s;
+        }
+        watchdogs.push_back(std::make_unique<fault::DaemonWatchdog>(
+            engine, cluster.node(i), plan.resilience.watchdog_params, hooks,
+            &*fault_report, hub.get()));
+        watchdogs.back()->start();
+        stoppers.push_back([w = watchdogs.back().get()] { w->stop(); });
+      }
+    }
+  }
+
   std::unique_ptr<trace::Tracer> tracer;
   if (config.collect_trace) {
     tracer = std::make_unique<trace::Tracer>(engine, workload.ranks);
@@ -161,6 +271,11 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
     });
   }
 
+  // Arm the resilience/injection machinery right at launch so scripted
+  // fault times are relative to the application's start.
+  if (ckpt != nullptr) ckpt->start();
+  if (injector != nullptr) injector->arm();
+
   std::vector<sim::Process> rank_procs;
   rank_procs.reserve(workload.ranks);
   for (int r = 0; r < workload.ranks; ++r) {
@@ -169,9 +284,25 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   Completion completion;
   sim::spawn(engine,
              completion_watcher(rank_procs, engine, cluster, stoppers, &completion));
+  if (mpi_timeout_s > 0) {
+    sim::spawn(engine, progress_watchdog(engine, cluster, comm, rank_procs, stoppers,
+                                         mpi_timeout_s, &completion));
+  }
 
   while (!completion.done) {
     if (engine.run(200'000) == 0) {
+      if (plan.active()) {
+        // Structured failure: a crashed node left the survivors blocked in
+        // MPI with nothing else scheduled.
+        completion.failed = true;
+        completion.failure =
+            "cluster deadlocked: ranks blocked in MPI with no events pending";
+        completion.t_end = engine.now();
+        completion.energy_end = cluster.total_energy_joules();
+        for (auto& stop : stoppers) stop();
+        completion.done = true;
+        break;
+      }
       throw std::runtime_error("workload deadlocked: no events but ranks unfinished");
     }
   }
@@ -181,6 +312,15 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   result.workload = workload.name;
   result.delay_s = sim::to_seconds(t_end - t_start);
   result.energy_j = completion.energy_end - e_start;
+  result.failed = completion.failed;
+  result.failure = completion.failure;
+
+  if (fault_report.has_value()) {
+    if (injector != nullptr) injector->finalize();
+    fault_report->run_failed = completion.failed;
+    fault_report->failure = completion.failure;
+    result.fault_report = std::move(fault_report);
+  }
 
   if (config.use_meters) {
     // Capacity differences were read at t_end by the completion watcher;
@@ -221,6 +361,11 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
     snap.chrome_trace_json = telemetry::to_chrome_json(snap, tracer.get());
     result.telemetry = std::move(snap);
   }
+
+  // Failed or abandoned runs leave ranks suspended inside MPI waits; those
+  // frames hold RAII guards over cluster objects, so destroy them here while
+  // the cluster (declared above) is still alive rather than in ~Engine.
+  engine.destroy_suspended_frames();
   return result;
 }
 

@@ -17,6 +17,8 @@
 #include "apps/workload.hpp"
 #include "core/cpuspeed.hpp"
 #include "core/predictor.hpp"
+#include "fault/plan.hpp"
+#include "fault/report.hpp"
 #include "machine/cluster.hpp"
 #include "telemetry/options.hpp"
 #include "telemetry/snapshot.hpp"
@@ -54,6 +56,11 @@ struct RunConfig {
   /// pre-discharge and meter polling; slower, quantized readings).
   bool use_meters = false;
 
+  /// Fault injection + resilience (src/fault).  The default (empty) plan is
+  /// zero-cost: no RNG stream is drawn, nothing is scheduled, and results
+  /// are bit-identical to a build without the fault layer.
+  fault::FaultPlan faults;
+
   /// Cluster template; node count is raised to the workload's rank count.
   machine::ClusterConfig cluster;
 
@@ -79,6 +86,13 @@ struct RunResult {
   /// snapshot, decision log, completed transitions, sampler series, and a
   /// ready-rendered Chrome trace-event JSON.
   std::optional<telemetry::TelemetrySnapshot> telemetry;
+  /// Structured failure instead of a silent infinite run: set when the MPI
+  /// progress watchdog timed out or the cluster deadlocked under faults
+  /// (delay/energy then cover launch -> failure detection).
+  bool failed = false;
+  std::string failure;
+  /// Fault/resilience record (present whenever the fault layer was active).
+  std::optional<fault::FaultReport> fault_report;
 };
 
 /// Executes one measured run.

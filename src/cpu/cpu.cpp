@@ -1,5 +1,6 @@
 #include "cpu/cpu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -13,6 +14,8 @@ const char* to_string(CpuState s) {
     case CpuState::CommProc: return "CommProc";
     case CpuState::WaitPoll: return "WaitPoll";
     case CpuState::Transition: return "Transition";
+    case CpuState::CkptStall: return "CkptStall";
+    case CpuState::Off: return "Off";
   }
   return "?";
 }
@@ -40,8 +43,8 @@ void Cpu::begin_work(const WorkAwaitable& w, std::coroutine_handle<> h) {
     return;
   }
   active_ = a;
-  if (!transitioning_) start_segment();
-  // else: the work starts when the transition stall ends.
+  if (!transitioning_ && !halted()) start_segment();
+  // else: the work starts when the transition stall / outage ends.
 }
 
 void Cpu::start_segment() {
@@ -49,13 +52,16 @@ void Cpu::start_segment() {
   set_state(active_->kind);
   active_->segment_start = engine_.now();
   active_->segment_freq_mhz = frequency_mhz();
+  active_->segment_eff = efficiency_;
   sim::SimDuration dur;
   if (active_->timed) {
-    dur = active_->remaining_ns;
+    dur = active_->remaining_ns;  // memory stalls are frequency/eff-insensitive
   } else {
-    // cycles at f MHz: 1 cycle = 1000/f ns.
+    // cycles at f MHz: 1 cycle = 1000/f ns; a straggler retires cycles at
+    // eff * f.  (eff == 1 reproduces the healthy arithmetic bit-exactly.)
     dur = static_cast<sim::SimDuration>(
-        std::llround(active_->remaining_cycles * 1000.0 / active_->segment_freq_mhz));
+        std::llround(active_->remaining_cycles * 1000.0 /
+                     (active_->segment_freq_mhz * active_->segment_eff)));
   }
   if (dur < 0) dur = 0;
   active_->segment_running = true;
@@ -69,7 +75,8 @@ void Cpu::pause_segment() {
   if (active_->timed) {
     active_->remaining_ns = std::max<sim::SimDuration>(0, active_->remaining_ns - elapsed);
   } else {
-    const double consumed = static_cast<double>(elapsed) * active_->segment_freq_mhz * 1e-3;
+    const double consumed = static_cast<double>(elapsed) * active_->segment_freq_mhz *
+                            active_->segment_eff * 1e-3;
     active_->remaining_cycles = std::max(0.0, active_->remaining_cycles - consumed);
   }
   active_->segment_running = false;
@@ -83,11 +90,12 @@ void Cpu::finish_work() {
   // when the next unit has the same kind.
   notify();
   touch_accounting();
+  ++stats_.work_completed;
   active_.reset();
   if (!work_queue_.empty()) {
     active_ = work_queue_.front();
     work_queue_.pop_front();
-    if (!transitioning_) start_segment();
+    if (!transitioning_ && !halted()) start_segment();
   } else {
     set_state(base_state());
   }
@@ -96,7 +104,19 @@ void Cpu::finish_work() {
 
 void Cpu::set_frequency_mhz(int freq_mhz) {
   const std::size_t idx = table_.index_of(freq_mhz);
-  if (transitioning_) {
+  if (dvs_stuck_) {
+    // The /proc write is silently lost (wedged driver); the daemon gets no
+    // error and the operating point stays pinned.
+    if (idx != (transitioning_ ? transition_to_ : op_index_)) {
+      ++stats_.dvs_requests_dropped;
+    }
+    return;
+  }
+  if (offline_) {
+    ++stats_.dvs_requests_dropped;  // nobody home to take the write
+    return;
+  }
+  if (transitioning_ || ckpt_stall_) {
     pending_target_ = idx;  // coalesce to the latest request
     return;
   }
@@ -115,12 +135,13 @@ void Cpu::begin_transition(std::size_t target) {
       config_.transition_min +
       (span == 0 ? 0 : static_cast<sim::SimDuration>(rng_.uniform_int(span + 1)));
   stats_.transition_stall_ns += latency;
-  engine_.schedule_in(latency, [this] { end_transition(); });
+  transition_event_ = engine_.schedule_in(latency, [this] { end_transition(); });
 }
 
 void Cpu::end_transition() {
   notify();            // observers integrate the stall at the old (higher) voltage
   touch_accounting();  // charge the stall to the old operating point
+  transition_event_.reset();
   op_index_ = transition_to_;
   ++stats_.transitions;
   transitioning_ = false;
@@ -137,6 +158,12 @@ void Cpu::end_transition() {
       return;
     }
   }
+  if (ckpt_stall_) {
+    // The mode change completed mid-checkpoint; execution stays stalled
+    // until checkpoint_stall_end().
+    set_state(CpuState::CkptStall);
+    return;
+  }
   if (active_.has_value()) {
     start_segment();
   } else {
@@ -146,13 +173,82 @@ void Cpu::end_transition() {
 
 void Cpu::enter_wait() {
   ++wait_depth_;
-  if (!active_.has_value() && !transitioning_) set_state(CpuState::WaitPoll);
+  if (!active_.has_value() && !transitioning_ && !halted()) set_state(CpuState::WaitPoll);
 }
 
 void Cpu::leave_wait() {
   assert(wait_depth_ > 0);
   --wait_depth_;
-  if (!active_.has_value() && !transitioning_) set_state(base_state());
+  if (!active_.has_value() && !transitioning_ && !halted()) set_state(base_state());
+}
+
+void Cpu::power_off() {
+  if (offline_) return;
+  pause_segment();
+  if (transitioning_) {
+    // The mode transition dies with the power: cancel its completion and
+    // stay at the pre-transition operating point for the reboot.
+    if (transition_event_.has_value()) engine_.cancel(*transition_event_);
+    transition_event_.reset();
+    transitioning_ = false;
+  }
+  pending_target_.reset();
+  ckpt_stall_ = false;
+  // Order matters for energy: set_state() notifies observers, which must
+  // integrate the elapsed interval at the pre-crash power level — the node
+  // reads 0 W only once `offline_` is set afterwards.
+  set_state(CpuState::Off);
+  offline_ = true;
+}
+
+void Cpu::power_on() {
+  if (!offline_) return;
+  // Integrate the outage interval while the node still reads offline (0 W),
+  // then boot at full speed like the initial power-up.
+  notify();
+  touch_accounting();
+  offline_ = false;
+  op_index_ = table_.size() - 1;
+  if (active_.has_value()) {
+    start_segment();  // resume (re-price) the work interrupted by the crash
+  } else {
+    set_state(base_state());
+  }
+}
+
+void Cpu::checkpoint_stall_begin() {
+  if (halted()) return;
+  pause_segment();
+  ckpt_stall_ = true;
+  // Mid-transition the stall state takes over when the transition ends.
+  if (!transitioning_) set_state(CpuState::CkptStall);
+}
+
+void Cpu::checkpoint_stall_end() {
+  if (!ckpt_stall_ || offline_) return;
+  ckpt_stall_ = false;
+  if (transitioning_) return;  // end_transition() resumes execution
+  if (pending_target_.has_value()) {
+    const std::size_t next = *pending_target_;
+    pending_target_.reset();
+    if (next != op_index_) {
+      begin_transition(next);
+      return;
+    }
+  }
+  if (active_.has_value()) {
+    start_segment();
+  } else {
+    set_state(base_state());
+  }
+}
+
+void Cpu::set_efficiency(double eff) {
+  eff = std::clamp(eff, 0.01, 1.0);
+  if (eff == efficiency_) return;
+  pause_segment();
+  efficiency_ = eff;
+  if (active_.has_value() && !transitioning_ && !halted()) start_segment();
 }
 
 CpuState Cpu::base_state() const {
@@ -179,8 +275,9 @@ void Cpu::touch_accounting() {
 double Cpu::busy_weight(CpuState s) const {
   switch (s) {
     case CpuState::Idle: return 0.0;
+    case CpuState::Off: return 0.0;
     case CpuState::WaitPoll: return config_.waitpoll_busy_fraction;
-    default: return 1.0;
+    default: return 1.0;  // CkptStall: the checkpoint writer looks busy to /proc
   }
 }
 
@@ -204,6 +301,8 @@ double Cpu::activity() const {
     case CpuState::CommProc: return config_.act_commproc;
     case CpuState::Transition: return config_.act_transition;
     case CpuState::WaitPoll: return config_.act_waitpoll;
+    case CpuState::CkptStall: return config_.act_checkpoint;
+    case CpuState::Off: return 0.0;
   }
   return config_.act_idle;
 }
@@ -214,6 +313,8 @@ double Cpu::mem_activity() const {
     case CpuState::OnChip: return 0.30;
     case CpuState::CommProc: return 0.20;
     case CpuState::WaitPoll: return 0.08;
+    case CpuState::CkptStall: return 0.50;  // checkpoint image streams through DRAM
+    case CpuState::Off: return 0.0;
     default: return 0.05;
   }
 }

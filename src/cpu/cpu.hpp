@@ -34,7 +34,16 @@
 
 namespace pcd::cpu {
 
-enum class CpuState { Idle, OnChip, MemStall, CommProc, WaitPoll, Transition };
+enum class CpuState {
+  Idle,
+  OnChip,
+  MemStall,
+  CommProc,
+  WaitPoll,
+  Transition,
+  CkptStall,  // blocked in a coordinated checkpoint write
+  Off,        // powered off (crash, battery exhaustion)
+};
 
 const char* to_string(CpuState s);
 
@@ -59,6 +68,9 @@ struct CpuConfig {
   /// spins through select/memcpy, keeping the core largely active even
   /// though /proc shows only `waitpoll_busy_fraction` as runnable.
   double act_waitpoll = 0.90;
+  /// Power activity while writing a coordinated checkpoint (disk/NFS I/O
+  /// with memory traffic; the core is mostly stalled).
+  double act_checkpoint = 0.60;
 };
 
 /// Cumulative counters exposed for reports and tests.
@@ -66,6 +78,12 @@ struct CpuStats {
   std::int64_t transitions = 0;
   sim::SimDuration transition_stall_ns = 0;
   std::vector<sim::SimDuration> op_residency_ns;  // indexed like the OP table
+  /// Work units (compute slices, stalls, protocol chunks) run to completion
+  /// — a progress signal the MPI-timeout watchdog can difference.
+  std::int64_t work_completed = 0;
+  /// set_frequency_mhz() writes silently lost to a stuck DVS driver or a
+  /// powered-off node.
+  std::int64_t dvs_requests_dropped = 0;
 };
 
 class Cpu {
@@ -141,6 +159,40 @@ class Cpu {
   const OperatingPointTable& table() const { return table_; }
   const CpuConfig& config() const { return config_; }
 
+  // ---- fault / robustness API ----
+  //
+  // Hooks for the fault-injection layer (src/fault).  All of them default
+  // to the healthy state and cost nothing unless used.
+
+  /// Powers the CPU off (node crash, battery exhaustion): in-flight work is
+  /// paused, a pending DVS transition is aborted, and the CPU draws 0 W.
+  /// Blocked rank coroutines freeze at their next CPU touch.
+  void power_off();
+  /// Reboots: the CPU comes back at the table's highest frequency (the boot
+  /// default) and resumes — re-pricing — any interrupted work.
+  void power_on();
+  bool offline() const { return offline_; }
+
+  /// Coordinated-checkpoint stall: execution pauses (power stays on, the
+  /// core shows busy to /proc) until checkpoint_stall_end().
+  void checkpoint_stall_begin();
+  void checkpoint_stall_end();
+  /// Off or checkpoint-stalled: no work executes.
+  bool halted() const { return offline_ || ckpt_stall_; }
+
+  /// Straggler model (thermal throttling, background interference): cycle
+  /// work executes at `eff * frequency` (clamped to [0.01, 1]); power and
+  /// the /proc busy view are unchanged — the node just computes slower.
+  void set_efficiency(double eff);
+  double efficiency() const { return efficiency_; }
+
+  /// Stuck DVS: while set, set_frequency_mhz() writes are silently lost
+  /// (the paper's user-space daemon writing /proc with no error checking);
+  /// the operating point stays pinned.  Dropped writes are counted in
+  /// stats().dvs_requests_dropped.
+  void set_dvs_stuck(bool stuck) { dvs_stuck_ = stuck; }
+  bool dvs_stuck() const { return dvs_stuck_; }
+
   // ---- observability ----
 
   CpuState state() const { return state_; }
@@ -184,6 +236,7 @@ class Cpu {
     std::coroutine_handle<> waiter;
     sim::SimTime segment_start = 0;
     int segment_freq_mhz = 0;
+    double segment_eff = 1.0;
     sim::EventId finish_event{};
     bool segment_running = false;
   };
@@ -212,7 +265,12 @@ class Cpu {
   bool transitioning_ = false;
   std::size_t transition_from_ = 0;
   std::size_t transition_to_ = 0;
+  std::optional<sim::EventId> transition_event_;
   std::optional<std::size_t> pending_target_;
+  bool offline_ = false;
+  bool ckpt_stall_ = false;
+  bool dvs_stuck_ = false;
+  double efficiency_ = 1.0;
   std::optional<ActiveWork> active_;
   std::deque<ActiveWork> work_queue_;  // FIFO backlog (e.g. isend protocol work)
   int wait_depth_ = 0;

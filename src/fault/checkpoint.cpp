@@ -1,0 +1,66 @@
+#include "fault/checkpoint.hpp"
+
+namespace pcd::fault {
+
+CheckpointService::CheckpointService(sim::Engine& engine, machine::Cluster& cluster,
+                                     double interval_s, double cost_s,
+                                     FaultReport* report, telemetry::Hub* hub)
+    : engine_(engine),
+      cluster_(cluster),
+      interval_s_(interval_s),
+      cost_s_(cost_s),
+      report_(report),
+      hub_(hub) {}
+
+void CheckpointService::start() {
+  if (running_) return;
+  running_ = true;
+  started_at_ = engine_.now();
+  last_checkpoint_ = engine_.now();
+  next_event_ = engine_.schedule_in(sim::from_seconds(interval_s_),
+                                    [this] { begin_checkpoint(); });
+}
+
+void CheckpointService::stop() {
+  if (!running_) return;
+  if (in_checkpoint_) end_checkpoint();  // never leave CPUs stalled
+  running_ = false;
+  if (next_event_) engine_.cancel(*next_event_);
+  next_event_.reset();
+}
+
+double CheckpointService::redo_seconds(sim::SimTime now) const {
+  return sim::to_seconds(now - last_checkpoint_);
+}
+
+void CheckpointService::begin_checkpoint() {
+  in_checkpoint_ = true;
+  int stalled = 0;
+  for (int i = 0; i < cluster_.size(); ++i) {
+    auto& cpu = cluster_.node(i).cpu();
+    if (!cpu.halted()) {
+      cpu.checkpoint_stall_begin();
+      ++stalled;
+    }
+  }
+  if (report_ != nullptr) report_->checkpoint_stall_s += cost_s_ * stalled;
+  next_event_ = engine_.schedule_in(sim::from_seconds(cost_s_),
+                                    [this] { end_checkpoint(); });
+}
+
+void CheckpointService::end_checkpoint() {
+  in_checkpoint_ = false;
+  for (int i = 0; i < cluster_.size(); ++i) {
+    cluster_.node(i).cpu().checkpoint_stall_end();
+  }
+  last_checkpoint_ = engine_.now();
+  ++count_;
+  if (report_ != nullptr) ++report_->checkpoints;
+  if (hub_ != nullptr) hub_->registry().counter("checkpoints_total").inc();
+  if (running_) {
+    next_event_ = engine_.schedule_in(sim::from_seconds(interval_s_),
+                                      [this] { begin_checkpoint(); });
+  }
+}
+
+}  // namespace pcd::fault

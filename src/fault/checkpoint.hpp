@@ -1,0 +1,57 @@
+// Coordinated checkpoint/restart service (BLCR-style): every interval, all
+// live nodes stall for the checkpoint write cost; after a node crash the
+// cluster "rolls back" to the last checkpoint, modeled as the rebooting
+// node's boot delay plus the redo time since that checkpoint (the paper's
+// cluster has shared NFS storage, so the image is reachable from the
+// reboot).
+#pragma once
+
+#include <optional>
+
+#include "fault/report.hpp"
+#include "machine/cluster.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/hub.hpp"
+
+namespace pcd::fault {
+
+class CheckpointService {
+ public:
+  CheckpointService(sim::Engine& engine, machine::Cluster& cluster,
+                    double interval_s, double cost_s, FaultReport* report,
+                    telemetry::Hub* hub = nullptr);
+  ~CheckpointService() { stop(); }
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Work lost to a crash at `now`: time since the last completed
+  /// checkpoint (or since start() if none completed yet).
+  double redo_seconds(sim::SimTime now) const;
+
+  std::int64_t checkpoints() const { return count_; }
+
+ private:
+  void begin_checkpoint();
+  void end_checkpoint();
+
+  sim::Engine& engine_;
+  machine::Cluster& cluster_;
+  double interval_s_;
+  double cost_s_;
+  FaultReport* report_;
+  telemetry::Hub* hub_;
+
+  bool running_ = false;
+  bool in_checkpoint_ = false;
+  std::optional<sim::EventId> next_event_;
+  sim::SimTime started_at_ = 0;
+  sim::SimTime last_checkpoint_ = 0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace pcd::fault

@@ -1,0 +1,71 @@
+// FaultInjector: arms a FaultPlan against a live cluster.  Scripted events
+// are scheduled verbatim; hazard arrivals are sampled up front (exponential
+// inter-arrival times from one dedicated RNG split), so a given (plan,
+// seed) pair replays bit-identically.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/plan.hpp"
+#include "fault/report.hpp"
+#include "machine/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "telemetry/hub.hpp"
+
+namespace pcd::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Engine& engine, machine::Cluster& cluster, FaultPlan plan,
+                sim::Rng rng, FaultReport* report);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// DaemonWedge needs to reach into the strategy layer; the runner
+  /// provides the hook (node -> wedge its daemon).  Optional.
+  void set_daemon_wedger(std::function<void(int node)> wedger) {
+    wedger_ = std::move(wedger);
+  }
+  /// With a checkpoint service attached, a crashed node reboots after its
+  /// boot delay + redo time; without one, it stays down (the MPI progress
+  /// watchdog then fails the run).
+  void set_checkpoint_service(CheckpointService* ckpt) { ckpt_ = ckpt; }
+  void attach_telemetry(telemetry::Hub* hub) { hub_ = hub; }
+
+  /// Schedules every scripted event and every sampled hazard arrival.
+  void arm();
+  /// Cancels everything still pending (run is over).
+  void disarm();
+  /// End-of-run bookkeeping: downtime of nodes still dark, dropped-write
+  /// totals.  Call once, after the run window closes.
+  void finalize();
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void clear(const FaultEvent& e);
+  void schedule(const FaultEvent& e);
+  void record(int node, const char* kind, telemetry::FaultPhase phase,
+              std::string detail);
+  void crash_node(int node, double boot_delay_s);
+
+  sim::Engine& engine_;
+  machine::Cluster& cluster_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  FaultReport* report_;
+  telemetry::Hub* hub_ = nullptr;
+  CheckpointService* ckpt_ = nullptr;
+  std::function<void(int)> wedger_;
+
+  std::vector<sim::EventId> pending_;
+  std::vector<sim::SimTime> down_since_;  // per node; -1 = up
+  bool armed_ = false;
+};
+
+}  // namespace pcd::fault

@@ -29,7 +29,10 @@ class Node {
       : id_(id),
         cpu_(engine, config.operating_points, config.cpu, rng.split()),
         power_(engine, cpu_, config.power),
-        battery_(engine, power_, config.battery, rng.split()) {}
+        battery_(engine, power_, config.battery, rng.split()),
+        requested_mhz_(cpu_.frequency_mhz()) {
+    battery_.set_depleted([this] { handle_battery_depleted(); });
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -55,7 +58,19 @@ class Node {
       telemetry_->record_decision({cpu_.engine().now(), id_, cpu_.frequency_mhz(),
                                    mhz, cause, utilization, std::move(detail)});
     }
+    requested_mhz_ = mhz;
     cpu_.set_frequency_mhz(mhz);
+  }
+
+  /// Last speed any strategy *asked* for — diverges from the CPU's actual
+  /// frequency when the DVS driver is stuck (the watchdog compares the two).
+  int requested_mhz() const { return requested_mhz_; }
+
+  /// Fault hooks: hard power loss and reboot.
+  void power_off() { cpu_.power_off(); }
+  void power_on() {
+    cpu_.power_on();
+    requested_mhz_ = cpu_.frequency_mhz();  // BIOS default, nothing requested yet
   }
 
   /// Attaches (or detaches, with null) the telemetry hub to this node: DVS
@@ -67,11 +82,22 @@ class Node {
   }
 
  private:
+  void handle_battery_depleted() {
+    if (cpu_.offline()) return;
+    cpu_.power_off();
+    if (telemetry_ != nullptr) {
+      telemetry_->record_fault({cpu_.engine().now(), id_, "battery_depleted",
+                               telemetry::FaultPhase::Detected,
+                               "smart battery empty: node lost power"});
+    }
+  }
+
   int id_;
   telemetry::Hub* telemetry_ = nullptr;
   cpu::Cpu cpu_;
   power::NodePowerModel power_;
   power::AcpiBattery battery_;
+  int requested_mhz_;
 };
 
 }  // namespace pcd::machine

@@ -15,6 +15,27 @@ Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng 
       egress_(nodes),
       ingress_(nodes) {
   if (nodes <= 0) throw std::invalid_argument("network needs at least one node");
+  links_.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    links_.push_back(std::make_unique<sim::Event>(engine_));
+    links_.back()->set();  // links start up
+  }
+}
+
+void Network::set_bandwidth_factor(double factor) {
+  bandwidth_factor_ = std::clamp(factor, 0.01, 1.0);
+}
+
+void Network::set_collision_boost(double boost) {
+  collision_boost_ = std::clamp(boost, 0.0, 0.95);
+}
+
+void Network::set_link_up(int node, bool up) {
+  if (up) {
+    links_.at(node)->set();  // wakes every transfer stalled on this link
+  } else {
+    links_.at(node)->reset();
+  }
 }
 
 void Network::attach_telemetry(telemetry::Hub* hub) {
@@ -68,16 +89,33 @@ sim::Process Network::transfer_proc(int src, int dst, std::int64_t bytes,
   co_await PortAcquire{&egress_[src]};
   co_await PortAcquire{&ingress_[dst]};
 
-  const double wire_s = static_cast<double>(bytes) * 8.0 / (params_.bandwidth_mbps * 1e6);
+  // Link flap: holding the ports (head-of-line, like a real NIC with a dead
+  // carrier), wait for both ends to come back up.  Free when healthy: a
+  // signaled Event short-circuits without suspending.
+  if (!links_[src]->signaled() || !links_[dst]->signaled()) {
+    ++stats_.link_stalls;
+    while (!links_[src]->signaled()) co_await links_[src]->wait();
+    while (!links_[dst]->signaled()) co_await links_[dst]->wait();
+  }
+
+  const double wire_s = static_cast<double>(bytes) * 8.0 /
+                        (params_.bandwidth_mbps * bandwidth_factor_ * 1e6);
   sim::SimDuration service = sim::from_seconds(wire_s);
 
   // Collision draw at wire start: risk grows with offered load and with
   // the injection speed ratio (paper §5.2's retransmission hypothesis).
+  // The draw happens under exactly the same conditions as the healthy model
+  // unless a fault adds a flat boost, so an inert fault plan perturbs no
+  // RNG stream.
   const int excess = in_flight_ - params_.collision_free_transfers;
-  if (excess > 0 && bytes >= params_.collision_min_bytes) {
-    const double p = std::min(params_.collision_prob_cap,
+  const bool base_risk = excess > 0 && bytes >= params_.collision_min_bytes;
+  if (base_risk || collision_boost_ > 0) {
+    double p = base_risk
+                   ? std::min(params_.collision_prob_cap,
                               params_.collision_coeff * excess *
-                                  std::pow(speed_ratio, params_.collision_speed_exponent));
+                                  std::pow(speed_ratio, params_.collision_speed_exponent))
+                   : 0.0;
+    if (collision_boost_ > 0) p = std::min(0.95, p + collision_boost_);
     if (rng_.bernoulli(p)) {
       const auto span = static_cast<std::uint64_t>(
           params_.backoff_min >= params_.backoff_max

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -53,6 +54,7 @@ struct NetworkStats {
   std::int64_t collisions = 0;
   sim::SimDuration backoff_ns = 0;
   std::int64_t bytes = 0;
+  std::int64_t link_stalls = 0;  // transfers that had to wait out a downed link
 };
 
 class Network {
@@ -96,8 +98,26 @@ class Network {
     return TransferAwaitable{this, src, dst, bytes, speed_ratio};
   }
 
-  /// Wire time of an uncontended transfer (no queueing, no collision).
+  /// Wire time of an uncontended transfer (no queueing, no collision, at
+  /// nominal — undegraded — bandwidth).
   sim::SimDuration uncontended_time(std::int64_t bytes) const;
+
+  // ---- fault hooks (src/fault) ----
+
+  /// Degrades effective per-port bandwidth to `factor` × nominal (duplex
+  /// mismatch, failing switch fabric).  1.0 restores health.
+  void set_bandwidth_factor(double factor);
+  double bandwidth_factor() const { return bandwidth_factor_; }
+
+  /// Adds a flat probability of retransmission backoff on top of the
+  /// load/speed-driven collision model (noisy cabling).  0 restores health.
+  void set_collision_boost(double boost);
+  double collision_boost() const { return collision_boost_; }
+
+  /// Link flap: while a node's link is down, its transfers (either
+  /// direction) stall at the switch and resume when the link comes back.
+  void set_link_up(int node, bool up);
+  bool link_up(int node) const { return links_[node]->signaled(); }
 
  private:
   /// Single-server FIFO resource (one per egress / ingress port).
@@ -131,6 +151,9 @@ class Network {
   std::function<void(int, int)> nic_activity_;
   std::vector<Port> egress_;
   std::vector<Port> ingress_;
+  std::vector<std::unique_ptr<sim::Event>> links_;  // signaled = link up
+  double bandwidth_factor_ = 1.0;
+  double collision_boost_ = 0.0;
   int in_flight_ = 0;
   NetworkStats stats_;
   telemetry::Counter* m_transfers_ = nullptr;

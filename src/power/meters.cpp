@@ -1,5 +1,6 @@
 #include "power/meters.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pcd::power {
@@ -13,11 +14,15 @@ AcpiBattery::AcpiBattery(sim::Engine& engine, NodePowerModel& node,
     : engine_(engine),
       node_(node),
       params_(params),
+      rng_(rng),
       level_mwh_(params.capacity_mwh),
       reported_mwh_(params.capacity_mwh) {
-  const double period_s = rng.uniform(params_.refresh_min_s, params_.refresh_max_s);
+  // Draw from the stored stream in the same order as before it was kept:
+  // period first, then phase.  Garbage-sensor readings continue the stream
+  // and perturb nothing else.
+  const double period_s = rng_.uniform(params_.refresh_min_s, params_.refresh_max_s);
   refresh_period_ = sim::from_seconds(period_s);
-  initial_phase_ = static_cast<sim::SimDuration>(rng.uniform(0.0, period_s) * 1e9);
+  initial_phase_ = static_cast<sim::SimDuration>(rng_.uniform(0.0, period_s) * 1e9);
 }
 
 void AcpiBattery::recharge_full() {
@@ -25,6 +30,7 @@ void AcpiBattery::recharge_full() {
   drained_mwh_before_ = 0;
   if (!on_ac_) drained_joules_at_disconnect_ = node_.energy_joules();
   reported_mwh_ = quantize(true_remaining_mwh());
+  depleted_at_.reset();  // fresh pack: re-arm the depletion callback
 }
 
 void AcpiBattery::disconnect_ac() {
@@ -45,7 +51,12 @@ double AcpiBattery::true_remaining_mwh() const {
   if (!on_ac_) {
     drained += (node_.energy_joules() - drained_joules_at_disconnect_) / kJoulesPerMwh;
   }
-  return level_mwh_ - drained;
+  return std::max(0.0, level_mwh_ - drained);
+}
+
+void AcpiBattery::fail_capacity(double remaining_fraction) {
+  const double keep = std::clamp(remaining_fraction, 0.0, 1.0);
+  level_mwh_ -= true_remaining_mwh() * (1.0 - keep);
 }
 
 double AcpiBattery::quantize(double mwh) const {
@@ -67,8 +78,21 @@ void AcpiBattery::stop_polling() {
 }
 
 void AcpiBattery::refresh_tick() {
-  reported_mwh_ = quantize(true_remaining_mwh());
+  switch (sensor_fault_) {
+    case SensorFault::None:
+      reported_mwh_ = quantize(true_remaining_mwh());
+      break;
+    case SensorFault::Stale:
+      break;  // wedged driver: keep returning the last refreshed value
+    case SensorFault::Garbage:
+      reported_mwh_ = quantize(rng_.uniform(0.0, params_.capacity_mwh));
+      break;
+  }
   if (refreshes_ != nullptr) refreshes_->inc();
+  if (!on_ac_ && !depleted_at_.has_value() && true_remaining_mwh() <= 0.0) {
+    depleted_at_ = engine_.now();
+    if (on_depleted_) on_depleted_();
+  }
   next_tick_ = engine_.schedule_in(refresh_period_, [this] { refresh_tick(); });
 }
 
@@ -99,6 +123,16 @@ void BaytechStrip::stop_polling() {
 }
 
 void BaytechStrip::tick() {
+  if (dropout_) {
+    // Management unit not answering: the window is lost, but keep the
+    // accumulators current so the next good window averages correctly.
+    for (std::size_t i = 0; i < outlets_.size(); ++i) {
+      joules_at_window_start_[i] = outlets_[i]->energy_joules();
+    }
+    window_start_ = engine_.now();
+    next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
+    return;
+  }
   BaytechRecord rec;
   rec.window_end = engine_.now();
   const double window_s = sim::to_seconds(engine_.now() - window_start_);

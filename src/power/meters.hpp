@@ -11,6 +11,7 @@
 // error of the paper's methodology is part of the model.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -26,6 +27,14 @@ struct AcpiBatteryParams {
   double refresh_min_s = 15.0;  // paper: "polling data updated every 15-20 seconds"
   double refresh_max_s = 20.0;
   double quantum_mwh = 1.0;     // smart-battery reporting granularity
+};
+
+/// Failure mode of the ACPI sensor path (the /proc/acpi reader), injectable
+/// by the fault layer.  The battery itself keeps draining either way.
+enum class SensorFault {
+  None,     // healthy: refreshes report the quantized true value
+  Stale,    // driver wedged: refreshes keep returning the last value
+  Garbage,  // flaky SMBus: refreshes report random capacities
 };
 
 /// ACPI smart battery attached to one node.
@@ -53,8 +62,20 @@ class AcpiBattery {
 
   /// The value `/proc/acpi` would show: stale (last refresh) and quantized.
   double reported_remaining_mwh() const { return reported_mwh_; }
-  /// Ground truth, for accuracy studies.
+  /// Ground truth, for accuracy studies.  Clamped at 0: a pack cannot hold
+  /// negative charge — past this point the node is simply dead.
   double true_remaining_mwh() const;
+
+  /// Fault hooks ------------------------------------------------------
+  void set_sensor_fault(SensorFault f) { sensor_fault_ = f; }
+  SensorFault sensor_fault() const { return sensor_fault_; }
+  /// Sudden capacity loss (cell failure): only `remaining_fraction` of the
+  /// current true charge survives.
+  void fail_capacity(double remaining_fraction);
+  /// Invoked once when a refresh tick finds the pack empty while on DC
+  /// (the node browns out); re-armed by recharge_full().
+  void set_depleted(std::function<void()> cb) { on_depleted_ = std::move(cb); }
+  std::optional<sim::SimTime> depleted_at() const { return depleted_at_; }
 
   const AcpiBatteryParams& params() const { return params_; }
   sim::SimDuration refresh_period() const { return refresh_period_; }
@@ -70,6 +91,7 @@ class AcpiBattery {
   sim::Engine& engine_;
   NodePowerModel& node_;
   AcpiBatteryParams params_;
+  sim::Rng rng_;  // private stream for Garbage readings (drawn only then)
   sim::SimDuration refresh_period_;
   sim::SimDuration initial_phase_;
 
@@ -82,6 +104,10 @@ class AcpiBattery {
   bool polling_ = false;
   std::optional<sim::EventId> next_tick_;
   telemetry::Counter* refreshes_ = nullptr;
+
+  SensorFault sensor_fault_ = SensorFault::None;
+  std::function<void()> on_depleted_;
+  std::optional<sim::SimTime> depleted_at_;
 };
 
 struct BaytechParams {
@@ -108,6 +134,11 @@ class BaytechStrip {
   void start_polling();
   void stop_polling();
 
+  /// Fault hook: while set, the SNMP management unit stops answering —
+  /// windows elapse but no records are appended (a gap in the log).
+  void set_dropout(bool d) { dropout_ = d; }
+  bool dropout() const { return dropout_; }
+
   const std::vector<BaytechRecord>& records() const { return records_; }
 
   /// Integrates the per-minute records overlapping [t0, t1] into an energy
@@ -128,6 +159,7 @@ class BaytechStrip {
   sim::SimTime window_start_ = 0;
   std::vector<BaytechRecord> records_;
   bool polling_ = false;
+  bool dropout_ = false;
   std::optional<sim::EventId> next_tick_;
   telemetry::Counter* windows_ = nullptr;
 };

@@ -37,6 +37,7 @@ NodePowerModel::NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerPara
 
 PowerBreakdown NodePowerModel::breakdown() const {
   PowerBreakdown b;
+  if (cpu_.offline()) return b;  // node dark: every component at 0 W
   b.cpu = cpu_model_.watts(cpu_.power_op(), cpu_.activity());
   b.memory = params_.mem_idle_watts + params_.mem_active_watts * cpu_.mem_activity();
   b.disk = params_.disk_watts;

@@ -7,15 +7,19 @@
 
 namespace pcd::sim {
 
-Engine::~Engine() {
-  // Destroy still-suspended coroutine frames in reverse spawn order.  A
-  // frame's destructor only touches its own locals, so this is safe as long
-  // as it happens before the engine's own members are torn down (it does:
-  // we are at the top of ~Engine).
-  for (auto it = live_frames_.rbegin(); it != live_frames_.rend(); ++it) {
+Engine::~Engine() { destroy_suspended_frames(); }
+
+void Engine::destroy_suspended_frames() {
+  // Destroy still-suspended coroutine frames in reverse spawn order.  The
+  // vector is moved out first: destroying a suspended frame never calls
+  // unregister_frame (that only happens at normal completion), but moving
+  // keeps the registry consistent if a destructor spawns nothing yet reads
+  // engine state.
+  std::vector<std::coroutine_handle<>> frames = std::move(live_frames_);
+  live_frames_.clear();
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
     if (*it) it->destroy();
   }
-  live_frames_.clear();
 }
 
 EventId Engine::schedule_at(SimTime t, Callback cb) {

@@ -67,6 +67,12 @@ class Engine {
   void register_frame(std::coroutine_handle<> h);
   void unregister_frame(std::coroutine_handle<> h);
 
+  /// Destroys all still-suspended frames now rather than in ~Engine.  Call
+  /// this before tearing down model objects the frames' locals reference:
+  /// a frame blocked in an MPI wait holds RAII guards over its Cpu, so on a
+  /// failed/abandoned run the frames must die while the cluster is alive.
+  void destroy_suspended_frames();
+
  private:
   struct QueueEntry {
     SimTime t;

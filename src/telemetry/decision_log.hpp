@@ -21,6 +21,7 @@ enum class DvsCause : std::uint8_t {
   External,         // static set before the run (psetcpuspeed)
   Internal,         // application hook (set_cpuspeed at a source insertion)
   Predictor,        // phase-predictor daemon decision
+  Fallback,         // watchdog graceful degradation (force full speed)
   Api,              // direct set_cpuspeed() call with no strategy context
 };
 
@@ -30,6 +31,7 @@ inline const char* to_string(DvsCause c) {
     case DvsCause::External: return "external";
     case DvsCause::Internal: return "internal";
     case DvsCause::Predictor: return "predictor";
+    case DvsCause::Fallback: return "fallback";
     case DvsCause::Api: return "api";
   }
   return "?";

@@ -134,6 +134,18 @@ std::string to_chrome_json(const TelemetrySnapshot& snapshot,
     events.push_back({us(d.t), buf});
   }
 
+  for (const auto& f : snapshot.faults) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"fault %s %s\",\"cat\":\"fault\",\"ph\":\"i\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"%s\","
+                  "\"args\":{\"kind\":\"%s\",\"phase\":\"%s\",\"detail\":\"%s\"}}",
+                  escape(f.kind).c_str(), to_string(f.phase), us(f.t),
+                  f.node < 0 ? 0 : f.node, f.node < 0 ? "g" : "t",
+                  escape(f.kind).c_str(), to_string(f.phase),
+                  escape(f.detail).c_str());
+    events.push_back({us(f.t), buf});
+  }
+
   for (std::size_t node = 0; node < snapshot.series.size(); ++node) {
     for (const auto& s : snapshot.series[node]) {
       std::snprintf(buf, sizeof buf,
@@ -177,6 +189,18 @@ std::string series_csv(const TelemetrySnapshot& snapshot) {
                     s.watts_total());
       out += line;
     }
+  }
+  return out;
+}
+
+std::string faults_csv(const TelemetrySnapshot& snapshot) {
+  std::string out = "t_s,node,kind,phase,detail\n";
+  char line[384];
+  for (const auto& f : snapshot.faults) {
+    std::snprintf(line, sizeof line, "%.9f,%d,%s,%s,\"%s\"\n", sim::to_seconds(f.t),
+                  f.node, escape(f.kind).c_str(), to_string(f.phase),
+                  escape(f.detail).c_str());
+    out += line;
   }
   return out;
 }

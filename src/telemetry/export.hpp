@@ -29,4 +29,7 @@ std::string series_csv(const TelemetrySnapshot& snapshot);
 /// Decision log as CSV: t_s,node,from_mhz,to_mhz,cause,utilization,detail
 std::string decisions_csv(const TelemetrySnapshot& snapshot);
 
+/// Fault event log as CSV: t_s,node,kind,phase,detail
+std::string faults_csv(const TelemetrySnapshot& snapshot);
+
 }  // namespace pcd::telemetry

@@ -1,0 +1,41 @@
+// Structured fault event log: every fault-layer event — an injection, the
+// end of a transient fault, a watchdog detection, a recovery action —
+// records sim-time, node, fault kind, and lifecycle phase, so the full
+// inject -> detect -> recover chain of a run is reconstructible from the
+// telemetry snapshot alongside the DVS decision log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pcd::telemetry {
+
+enum class FaultPhase : std::uint8_t {
+  Injected,   // the injector applied a fault
+  Cleared,    // a transient fault's duration elapsed
+  Detected,   // a watchdog / monitor noticed the symptom
+  Recovered,  // a resilience mechanism restored service
+};
+
+inline const char* to_string(FaultPhase p) {
+  switch (p) {
+    case FaultPhase::Injected: return "injected";
+    case FaultPhase::Cleared: return "cleared";
+    case FaultPhase::Detected: return "detected";
+    case FaultPhase::Recovered: return "recovered";
+  }
+  return "?";
+}
+
+struct FaultLogEntry {
+  sim::SimTime t = 0;
+  int node = -1;       // -1 = cluster-wide (e.g. shared-medium degradation)
+  std::string kind;    // "node_crash", "stuck_dvs", "nic_degrade", ...
+  FaultPhase phase = FaultPhase::Injected;
+  std::string detail;  // e.g. "pinned at 600 MHz for 10 s"
+};
+
+}  // namespace pcd::telemetry

@@ -8,9 +8,11 @@
 // nullable `Hub*` — a null hub means telemetry off and near-zero cost.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "telemetry/decision_log.hpp"
+#include "telemetry/fault_log.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace pcd::telemetry {
@@ -48,10 +50,20 @@ class Hub {
 
   const std::vector<DvsTransition>& transitions() const { return transitions_; }
 
+  /// Called by the fault layer (and the battery depletion path) so the
+  /// inject -> detect -> recover chain lands next to the DVS events.
+  void record_fault(FaultLogEntry e) {
+    registry_.counter("fault_events_total", {{"phase", to_string(e.phase)}}).inc();
+    faults_.push_back(std::move(e));
+  }
+
+  const std::vector<FaultLogEntry>& faults() const { return faults_; }
+
  private:
   MetricsRegistry registry_;
   DecisionLog decisions_;
   std::vector<DvsTransition> transitions_;
+  std::vector<FaultLogEntry> faults_;
 };
 
 }  // namespace pcd::telemetry

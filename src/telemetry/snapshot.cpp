@@ -17,6 +17,7 @@ TelemetrySnapshot make_snapshot(const Hub& hub, const TimeSeriesSampler* sampler
   snap.decisions = hub.decisions().entries();
   snap.decisions_dropped = hub.decisions().dropped();
   snap.transitions = hub.transitions();
+  snap.faults = hub.faults();
   if (sampler != nullptr) {
     snap.sample_period_s = sampler->params().period_s;
     snap.series.reserve(sampler->nodes());

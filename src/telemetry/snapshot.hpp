@@ -22,6 +22,8 @@ struct TelemetrySnapshot {
   std::int64_t decisions_dropped = 0;
   /// Completed transitions as observed at the CPUs.
   std::vector<DvsTransition> transitions;
+  /// Fault lifecycle events (inject/clear/detect/recover), time-ordered.
+  std::vector<FaultLogEntry> faults;
   /// Per-node sampler series, oldest-first (empty when sampling was off).
   std::vector<std::vector<NodeSample>> series;
   double sample_period_s = 0;
