@@ -2,6 +2,9 @@
 // run length, and the Baytech cross-check.  The paper runs applications
 // for minutes (or iterates them) specifically so the 15-20 s ACPI refresh
 // and 1 mWh quantization do not distort the energy numbers.
+//
+// The run-length sweep is a campaign whose only axis is the workload list:
+// the same FT kernel instantiated at six problem scales.
 #include <cmath>
 #include <cstdio>
 
@@ -14,13 +17,20 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Ablation: ACPI/Baytech measurement error vs run length").c_str());
 
+  core::RunConfig cfg = core::RunConfigBuilder(bench::base_config(args))
+                            .use_meters(true)
+                            .build();
+  campaign::ExperimentSpec spec;
+  for (double scale : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    spec.workload(apps::make_ft(scale), "FT scale " + analysis::fmt(scale, 2));
+  }
+  spec.base(cfg).trials(1);
+  const auto result = bench::run(spec, args);
+
   analysis::TextTable t({"run length", "true J", "ACPI J", "ACPI err %",
                          "Baytech J", "Baytech err %"});
-  for (double scale : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-    auto ft = apps::make_ft(scale);
-    core::RunConfig cfg = bench::base_config(args);
-    cfg.use_meters = true;
-    const auto r = core::run_workload(ft, cfg);
+  for (const auto& cell : result.cells) {
+    const auto& r = cell.result;
     const double acpi_err = 100 * (r.energy_acpi_j - r.energy_j) / r.energy_j;
     const double bay_err = 100 * (r.energy_baytech_j - r.energy_j) / r.energy_j;
     t.add_row({analysis::fmt(r.delay_s, 0) + " s", analysis::fmt(r.energy_j, 0),

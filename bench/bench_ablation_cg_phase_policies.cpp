@@ -13,30 +13,39 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Ablation: rejected phase-based internal policies for CG (§5.3.2)").c_str());
 
-  auto cg = apps::make_cg(args.scale);
-  core::RunConfig base_cfg = bench::base_config(args);
-  base_cfg.static_mhz = 1400;
-  const auto base = core::run_trials(cg, base_cfg, args.trials);
+  campaign::ExperimentSpec spec;
+  spec.workload(apps::make_cg(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::strategies(
+          "policy",
+          {{"1400",
+            [](core::RunConfig& c) { c.static_mhz = 1400; }},
+           {"scale-during-comm (rejected)",
+            [](core::RunConfig& c) {
+              c.hooks = core::internal_comm_scaling_hooks(1400, 600);
+            }},
+           {"scale-during-wait (rejected)",
+            [](core::RunConfig& c) {
+              c.hooks = core::internal_wait_scaling_hooks(1400, 600);
+            }},
+           {"heterogeneous (adopted)",
+            [](core::RunConfig& c) {
+              c.hooks = core::internal_rank_speed_hooks(
+                  [](int rank) { return rank <= 3 ? 1200 : 800; });
+            }}}))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
+  const std::string cg = spec.workload_entries().front().first;
 
   analysis::TextTable t({"policy", "norm delay", "norm energy", "DVS transitions"});
-  auto add = [&](const char* label, const core::RunResult& r) {
-    t.add_row({label, analysis::fmt(r.delay_s / base.delay_s),
-               analysis::fmt(r.energy_j / base.energy_j),
-               std::to_string(r.dvs_transitions)});
-  };
-
-  core::RunConfig comm_cfg = bench::base_config(args);
-  comm_cfg.hooks = core::internal_comm_scaling_hooks(1400, 600);
-  add("scale-during-comm (rejected)", core::run_trials(cg, comm_cfg, args.trials));
-
-  core::RunConfig wait_cfg = bench::base_config(args);
-  wait_cfg.hooks = core::internal_wait_scaling_hooks(1400, 600);
-  add("scale-during-wait (rejected)", core::run_trials(cg, wait_cfg, args.trials));
-
-  core::RunConfig hetero_cfg = bench::base_config(args);
-  hetero_cfg.hooks = core::internal_rank_speed_hooks(
-      [](int rank) { return rank <= 3 ? 1200 : 800; });
-  add("heterogeneous (adopted)", core::run_trials(cg, hetero_cfg, args.trials));
+  for (const char* label : {"scale-during-comm (rejected)",
+                            "scale-during-wait (rejected)",
+                            "heterogeneous (adopted)"}) {
+    const auto ed = bench::normalized(result, cg, {label}, {"1400"});
+    const auto* cell = result.find(cg, {label});
+    t.add_row({label, analysis::fmt(ed.delay), analysis::fmt(ed.energy),
+               std::to_string(cell->result.dvs_transitions)});
+  }
 
   std::printf("%s\n", t.str().c_str());
   std::printf("Paper: both phase-based policies *increase* energy and delay "

@@ -4,7 +4,8 @@
 // (healthy, straggler hazard, cluster-wide stuck DVS, node crash) crossed
 // with the armed resilience (none / watchdog / checkpoint-restart), and
 // reports delay and energy vs. the fault-free daemon run plus the
-// detect/recover counters.  The zero-cost claim is visible in the first
+// detect/recover counters.  The whole sweep is one campaign over a
+// "scenario" strategy axis; the zero-cost claim is visible in the first
 // two rows: arming resilience with no faults reproduces the healthy run
 // bit-for-bit.
 #include <cstdio>
@@ -14,97 +15,89 @@
 
 using namespace pcd;
 
-namespace {
-
-struct Row {
-  std::string label;
-  core::RunResult result;
-};
-
-core::RunConfig daemon_base(const bench::BenchArgs& args) {
-  core::RunConfig cfg;
-  cfg.seed = args.seed;
-  cfg.daemon = core::CpuspeedParams{};
-  cfg.daemon->interval_s = 0.2;
-  return cfg;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto workload = apps::make_cg(args.scale);
-  std::vector<Row> rows;
+  const int ranks = workload.ranks;
 
-  rows.push_back({"daemon, healthy",
-                  core::run_workload(workload, daemon_base(args))});
+  core::CpuspeedParams daemon;
+  daemon.interval_s = 0.2;
+  const core::RunConfig base = core::RunConfigBuilder()
+                                   .seed(args.seed)
+                                   .daemon(daemon)
+                                   .build();
 
-  {
-    core::RunConfig cfg = daemon_base(args);
-    cfg.faults.resilience.watchdog = true;
-    cfg.faults.resilience.mpi_timeout_s = 120;
-    rows.push_back({"daemon, armed, no faults", core::run_workload(workload, cfg)});
-  }
-
-  {
-    core::RunConfig cfg = daemon_base(args);
+  std::vector<std::pair<std::string, std::function<void(core::RunConfig&)>>> scenarios;
+  scenarios.emplace_back("daemon, healthy", [](core::RunConfig&) {});
+  scenarios.emplace_back("daemon, armed, no faults", [](core::RunConfig& c) {
+    c.faults.resilience.watchdog = true;
+    c.faults.resilience.mpi_timeout_s = 120;
+  });
+  scenarios.emplace_back("straggler hazard", [](core::RunConfig& c) {
     fault::HazardModel hazard;
     hazard.kind = fault::FaultKind::Straggler;
     hazard.mtbf_s = 2.0;
     hazard.duration_s = 0.5;
     hazard.magnitude = 0.5;
-    cfg.faults.hazards.push_back(hazard);
-    cfg.faults.horizon_s = 60;
-    rows.push_back({"straggler hazard", core::run_workload(workload, cfg)});
-  }
-
+    c.faults.hazards.push_back(hazard);
+    c.faults.horizon_s = 60;
+  });
   for (bool watchdog : {false, true}) {
-    core::RunConfig cfg = daemon_base(args);
-    for (int n = 0; n < workload.ranks; ++n) {
-      cfg.faults.events.push_back(fault::stuck_dvs(0.3, n, 1.0));
-    }
-    cfg.faults.resilience.watchdog = watchdog;
-    cfg.faults.resilience.watchdog_params.check_interval_s = 0.25;
-    cfg.faults.resilience.watchdog_params.stuck_checks_before_fallback = 2;
-    rows.push_back({watchdog ? "stuck DVS + watchdog" : "stuck DVS, unguarded",
-                    core::run_workload(workload, cfg)});
+    scenarios.emplace_back(
+        watchdog ? "stuck DVS + watchdog" : "stuck DVS, unguarded",
+        [watchdog, ranks](core::RunConfig& c) {
+          for (int n = 0; n < ranks; ++n) {
+            c.faults.events.push_back(fault::stuck_dvs(0.3, n, 1.0));
+          }
+          c.faults.resilience.watchdog = watchdog;
+          c.faults.resilience.watchdog_params.check_interval_s = 0.25;
+          c.faults.resilience.watchdog_params.stuck_checks_before_fallback = 2;
+        });
   }
-
   for (bool ckpt : {false, true}) {
-    core::RunConfig cfg = daemon_base(args);
-    cfg.faults.events.push_back(fault::node_crash(0.6, 0, /*boot_delay_s=*/0.5));
-    cfg.faults.resilience.mpi_timeout_s = 5;
-    if (ckpt) {
-      cfg.faults.resilience.checkpoint_interval_s = 0.5;
-      cfg.faults.resilience.checkpoint_cost_s = 0.05;
-    }
-    rows.push_back({ckpt ? "node crash + C/R" : "node crash, no C/R",
-                    core::run_workload(workload, cfg)});
+    scenarios.emplace_back(
+        ckpt ? "node crash + C/R" : "node crash, no C/R",
+        [ckpt](core::RunConfig& c) {
+          c.faults.events.push_back(fault::node_crash(0.6, 0, /*boot_delay_s=*/0.5));
+          c.faults.resilience.mpi_timeout_s = 5;
+          if (ckpt) {
+            c.faults.resilience.checkpoint_interval_s = 0.5;
+            c.faults.resilience.checkpoint_cost_s = 0.05;
+          }
+        });
   }
 
-  const double base_delay = rows[0].result.delay_s;
-  const double base_energy = rows[0].result.energy_j;
+  campaign::ExperimentSpec spec;
+  spec.workload(workload)
+      .base(base)
+      .axis(campaign::Axis::strategies("scenario", scenarios))
+      .trials(1);
+  const auto result = bench::run(spec, args);
+
+  const auto& healthy = result.cells.front().result;
+  const double base_delay = healthy.delay_s;
+  const double base_energy = healthy.energy_j;
   analysis::TextTable table({"scenario", "delay (s)", "d vs healthy", "energy (J)",
                              "detected", "recovered", "outcome"});
-  for (const auto& row : rows) {
-    const auto& r = row.result;
+  for (const auto& cell : result.cells) {
+    const auto& r = cell.result;
     char delta[32];
     std::snprintf(delta, sizeof delta, "%+.1f%%",
                   100.0 * (r.delay_s / base_delay - 1.0));
     const auto* rep = r.fault_report.has_value() ? &*r.fault_report : nullptr;
-    table.add_row({row.label, analysis::fmt(r.delay_s, 3), delta,
+    table.add_row({cell.labels.front(), analysis::fmt(r.delay_s, 3), delta,
                    analysis::fmt(r.energy_j, 1),
                    rep ? std::to_string(rep->detections) : "-",
                    rep ? std::to_string(rep->recoveries) : "-",
                    r.failed ? "FAILED (detected)" : "completed"});
   }
   std::printf("CG scale %.2f, %d ranks: fault/resilience ablation\n%s", args.scale,
-              workload.ranks, table.str().c_str());
+              ranks, table.str().c_str());
   std::printf("healthy daemon reference: delay %.3f s, energy %.1f J\n", base_delay,
               base_energy);
 
   // The zero-cost property, asserted rather than eyeballed.
-  const auto& armed = rows[1].result;
+  const auto& armed = result.cells[1].result;
   if (armed.delay_s != base_delay || armed.energy_j != base_energy) {
     std::fprintf(stderr, "zero-cost violation: armed run diverged from healthy run\n");
     return 1;

@@ -13,26 +13,24 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Ablation: phase-predictor daemon (future work) vs CPUSPEED 1.2.1").c_str());
 
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::strategies(
+          "scheduler",
+          {{"1400", [](core::RunConfig& c) { c.static_mhz = 1400; }},
+           {"cpuspeed",
+            [](core::RunConfig& c) { c.daemon = core::CpuspeedParams::v1_2_1(); }},
+           {"predictor",
+            [](core::RunConfig& c) { c.predictor = core::PhasePredictorParams{}; }}}))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
+
   analysis::TextTable t({"code", "cpuspeed delay/energy", "predictor delay/energy",
                          "predictor wins ED2P?"});
-  for (const auto& workload : apps::all_npb(args.scale)) {
-    core::RunConfig base_cfg = bench::base_config(args);
-    base_cfg.static_mhz = 1400;
-    const auto base = core::run_trials(workload, base_cfg, args.trials);
-
-    core::RunConfig cs_cfg = bench::base_config(args);
-    cs_cfg.daemon = core::CpuspeedParams::v1_2_1();
-    const auto cs = core::run_trials(workload, cs_cfg, args.trials);
-
-    core::RunConfig pred_cfg = bench::base_config(args);
-    pred_cfg.predictor = core::PhasePredictorParams{};
-    const auto pred = core::run_trials(workload, pred_cfg, args.trials);
-
-    const auto norm = [&](const core::RunResult& r) {
-      return core::EnergyDelay{r.energy_j / base.energy_j, r.delay_s / base.delay_s};
-    };
-    const auto cs_n = norm(cs);
-    const auto pred_n = norm(pred);
+  for (const auto& [label, workload] : spec.workload_entries()) {
+    const auto cs_n = bench::normalized(result, label, {"cpuspeed"}, {"1400"});
+    const auto pred_n = bench::normalized(result, label, {"predictor"}, {"1400"});
     const bool wins = core::fused_value(core::Metric::ED2P, pred_n) <
                       core::fused_value(core::Metric::ED2P, cs_n);
     t.add_row({workload.name,

@@ -94,9 +94,8 @@ int main(int argc, char** argv) {
   analysis::TextTable t({"schedule", "delay (s)", "mean T (C)", "peak T (C)",
                          "life factor vs no-DVS"});
 
-  core::RunConfig base_cfg = bench::base_config(args);
-  base_cfg.static_mhz = 1400;
-  const auto base = run_with_thermal(ft, base_cfg);
+  const auto base = run_with_thermal(
+      ft, core::RunConfigBuilder(bench::base_config(args)).static_mhz(1400).build());
   auto add = [&](const char* label, const ThermalResult& r) {
     t.add_row({label, analysis::fmt(r.delay_s, 1), analysis::fmt(r.mean_c, 1),
                analysis::fmt(r.peak_c, 1),
@@ -105,17 +104,13 @@ int main(int argc, char** argv) {
   };
   add("no DVS (1400)", base);
 
-  core::RunConfig ext_cfg = bench::base_config(args);
-  ext_cfg.static_mhz = 600;
-  add("external 600", run_with_thermal(ft, ext_cfg));
-
-  core::RunConfig int_cfg = bench::base_config(args);
-  int_cfg.hooks = core::internal_phase_hooks(1400, 600);
-  add("internal 1400/600", run_with_thermal(ft, int_cfg));
-
-  core::RunConfig cs_cfg = bench::base_config(args);
-  cs_cfg.daemon = core::CpuspeedParams::v1_2_1();
-  add("cpuspeed (auto)", run_with_thermal(ft, cs_cfg));
+  auto builder = [&] { return core::RunConfigBuilder(bench::base_config(args)); };
+  add("external 600", run_with_thermal(ft, builder().static_mhz(600).build()));
+  add("internal 1400/600",
+      run_with_thermal(ft,
+                       builder().hooks(core::internal_phase_hooks(1400, 600)).build()));
+  add("cpuspeed (auto)",
+      run_with_thermal(ft, builder().daemon(core::CpuspeedParams::v1_2_1()).build()));
 
   std::printf("%s\n", t.str().c_str());
   std::printf("Paper §1: every 10 C of cooling doubles component life "

@@ -15,30 +15,45 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Ablation: DVS transition-cost sensitivity of INTERNAL scheduling").c_str());
 
-  analysis::TextTable t({"transition cost", "FT internal delay/energy",
-                         "CG scale-during-comm delay/energy"});
+  const std::vector<double> costs_us{10.0, 30.0, 100.0, 1000.0, 5000.0};
+  auto cost_axis = campaign::Axis::numeric(
+      "transition cost (us)", costs_us, [](core::RunConfig& c, double cost_us) {
+        c.cluster.node.cpu.transition_min = sim::from_micros(cost_us);
+        c.cluster.node.cpu.transition_max = sim::from_micros(cost_us);
+      });
+
+  // One cost sweep per (workload, policy) pair; each is normalized to a
+  // full-speed run of the same workload.
+  auto sweep = [&](apps::Workload workload, apps::DvsHooks hooks) {
+    core::RunConfig cfg = bench::base_config(args);
+    cfg.hooks = std::move(hooks);
+    campaign::ExperimentSpec spec;
+    spec.workload(std::move(workload)).base(cfg).axis(cost_axis).trials(args.trials);
+    return bench::run(spec, args);
+  };
+  auto base_of = [&](const apps::Workload& w) {
+    core::RunConfig cfg = bench::base_config(args);
+    cfg.static_mhz = 1400;
+    return campaign::run_trials(w, cfg, args.trials, args.threads);
+  };
+
   auto ft = apps::make_ft(args.scale);
   auto cg = apps::make_cg(args.scale);
+  const auto ft_base = base_of(ft);
+  const auto cg_base = base_of(cg);
+  const auto ft_sweep = sweep(ft, core::internal_phase_hooks(1400, 600));
+  const auto cg_sweep = sweep(cg, core::internal_comm_scaling_hooks(1400, 600));
 
-  core::RunConfig base_cfg = bench::base_config(args);
-  base_cfg.static_mhz = 1400;
-  const auto ft_base = core::run_trials(ft, base_cfg, args.trials);
-  const auto cg_base = core::run_trials(cg, base_cfg, args.trials);
-
-  for (double cost_us : {10.0, 30.0, 100.0, 1000.0, 5000.0}) {
-    auto with_cost = [&](const apps::Workload& w, apps::DvsHooks hooks,
-                         const core::RunResult& base) {
-      core::RunConfig cfg = bench::base_config(args);
-      cfg.hooks = std::move(hooks);
-      cfg.cluster.node.cpu.transition_min = sim::from_micros(cost_us);
-      cfg.cluster.node.cpu.transition_max = sim::from_micros(cost_us);
-      const auto r = core::run_trials(w, cfg, args.trials);
-      return analysis::fmt(r.delay_s / base.delay_s) + " / " +
-             analysis::fmt(r.energy_j / base.energy_j);
-    };
-    t.add_row({analysis::fmt(cost_us, 0) + " us",
-               with_cost(ft, core::internal_phase_hooks(1400, 600), ft_base),
-               with_cost(cg, core::internal_comm_scaling_hooks(1400, 600), cg_base)});
+  analysis::TextTable t({"transition cost", "FT internal delay/energy",
+                         "CG scale-during-comm delay/energy"});
+  auto fmt_cell = [](const campaign::CellResult& cell, const core::RunResult& base) {
+    return analysis::fmt(cell.result.delay_s / base.delay_s) + " / " +
+           analysis::fmt(cell.result.energy_j / base.energy_j);
+  };
+  for (std::size_t i = 0; i < costs_us.size(); ++i) {
+    t.add_row({analysis::fmt(costs_us[i], 0) + " us",
+               fmt_cell(ft_sweep.cells[i], ft_base),
+               fmt_cell(cg_sweep.cells[i], cg_base)});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("FT's seconds-long phases tolerate costs up to milliseconds; CG's "

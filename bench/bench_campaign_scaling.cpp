@@ -1,0 +1,72 @@
+// Campaign engine scaling: run a Figure-6-sized sweep (8 NPB codes x 5
+// static frequencies x 3 trials = 120 simulations) once serially and once
+// on the work-stealing pool, then check two properties:
+//
+//   1. determinism — the serial and parallel CampaignResult tables are
+//      bit-identical (same tsv(), same fingerprint), regardless of thread
+//      count or scheduling order;
+//   2. scaling — with >= 8 hardware threads the parallel run is at least
+//      3x faster than the serial run (skipped, but reported, on smaller
+//      machines: CI containers sometimes expose a single core).
+//
+// Exits non-zero on any violation so CI can gate on it.
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+
+using namespace pcd;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf("%s", analysis::heading(
+      "Campaign engine: serial vs parallel on a Figure-6-sized sweep").c_str());
+
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::static_mhz(bench::nemo_freqs()))
+      .trials(3);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int par_threads = args.threads > 0 ? args.threads : 8;
+  std::printf("%d cells x 3 trials = %d runs; hardware threads: %u\n\n",
+              static_cast<int>(spec.total_runs() / 3),
+              static_cast<int>(spec.total_runs()), hw);
+
+  campaign::CampaignOptions serial_opts;
+  serial_opts.threads = 1;
+  const auto serial = campaign::CampaignRunner(serial_opts).run(spec);
+
+  campaign::CampaignOptions par_opts;
+  par_opts.threads = par_threads;
+  const auto parallel = campaign::CampaignRunner(par_opts).run(spec);
+
+  const double speedup = serial.wall_s / parallel.wall_s;
+  std::printf("serial   (1 thread):  %7.2f s  fingerprint %016llx\n", serial.wall_s,
+              static_cast<unsigned long long>(serial.fingerprint()));
+  std::printf("parallel (%d threads): %7.2f s  fingerprint %016llx\n", par_threads,
+              parallel.wall_s,
+              static_cast<unsigned long long>(parallel.fingerprint()));
+  std::printf("speedup: %.2fx\n\n", speedup);
+
+  if (serial.tsv() != parallel.tsv()) {
+    std::fprintf(stderr,
+                 "FAIL: serial and parallel result tables are not bit-identical\n");
+    return 1;
+  }
+  std::printf("determinism: serial and parallel tables bit-identical [ok]\n");
+
+  if (hw >= 8) {
+    if (speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: speedup %.2fx < 3x with %u hardware threads\n",
+                   speedup, hw);
+      return 1;
+    }
+    std::printf("scaling: %.2fx >= 3x at %d threads [ok]\n", speedup, par_threads);
+  } else {
+    std::printf("scaling: only %u hardware thread(s); 3x assertion skipped "
+                "(speedup measured: %.2fx)\n", hw, speedup);
+  }
+  return 0;
+}

@@ -1,23 +1,31 @@
 // Shared helpers for the per-table/per-figure bench binaries.
 //
 // Every bench accepts:
-//   --scale <x>   workload scale factor (default 0.5; 1.0 = paper-scale
-//                 minutes-long runs)
-//   --trials <n>  repeated measurements per point (default 1; the paper
-//                 used >= 3)
-//   --seed <n>    base RNG seed
-// or the PCD_SCALE / PCD_TRIALS environment variables.
+//   --scale <x>    workload scale factor (default 0.5; 1.0 = paper-scale
+//                  minutes-long runs)
+//   --trials <n>   repeated measurements per point (default 1; the paper
+//                  used >= 3)
+//   --seed <n>     base RNG seed
+//   --threads <n>  campaign worker threads (default 0 = all cores; 1 =
+//                  serial reference)
+//   --progress     live progress line on stderr
+// or the PCD_SCALE / PCD_TRIALS / PCD_THREADS environment variables.
+//
+// Sweeps and repeated trials all go through campaign::ExperimentSpec — the
+// per-bench for-loops this header used to carry are gone; a bench declares
+// its run matrix and post-processes the aggregated cells.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "apps/npb.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sweeps.hpp"
 #include "core/runner.hpp"
 #include "core/strategies.hpp"
 
@@ -27,15 +35,21 @@ struct BenchArgs {
   double scale = 0.5;
   int trials = 1;
   std::uint64_t seed = 1;
+  int threads = 0;  // 0 = hardware concurrency
+  bool progress = false;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
     if (const char* e = std::getenv("PCD_SCALE")) a.scale = std::atof(e);
     if (const char* e = std::getenv("PCD_TRIALS")) a.trials = std::atoi(e);
-    for (int i = 1; i + 1 < argc; ++i) {
+    if (const char* e = std::getenv("PCD_THREADS")) a.threads = std::atoi(e);
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--progress") == 0) a.progress = true;
+      if (i + 1 >= argc) continue;
       if (std::strcmp(argv[i], "--scale") == 0) a.scale = std::atof(argv[i + 1]);
       if (std::strcmp(argv[i], "--trials") == 0) a.trials = std::atoi(argv[i + 1]);
       if (std::strcmp(argv[i], "--seed") == 0) a.seed = std::strtoull(argv[i + 1], nullptr, 10);
+      if (std::strcmp(argv[i], "--threads") == 0) a.threads = std::atoi(argv[i + 1]);
     }
     if (a.scale <= 0) a.scale = 0.5;
     if (a.trials < 1) a.trials = 1;
@@ -46,8 +60,39 @@ struct BenchArgs {
 inline core::RunConfig base_config(const BenchArgs& args) {
   core::RunConfig c;
   c.seed = args.seed;
-  (void)args;
   return c;
+}
+
+inline campaign::CampaignOptions options(const BenchArgs& args) {
+  campaign::CampaignOptions o;
+  o.threads = args.threads;
+  if (args.progress) {
+    o.on_progress = [](const campaign::Progress& p) {
+      std::fprintf(stderr, "\r[%zu/%zu] %-48.48s", p.completed, p.total,
+                   p.cell.c_str());
+      if (p.completed == p.total) std::fprintf(stderr, "\n");
+    };
+  }
+  return o;
+}
+
+/// Declares-and-runs: every bench's run matrix goes through here.
+inline campaign::CampaignResult run(const campaign::ExperimentSpec& spec,
+                                    const BenchArgs& args) {
+  return campaign::CampaignRunner(options(args)).run(spec);
+}
+
+/// Median energy/delay of one cell normalized to a baseline cell.
+inline core::EnergyDelay normalized(const campaign::CampaignResult& r,
+                                    const std::string& workload,
+                                    const std::vector<std::string>& labels,
+                                    const std::vector<std::string>& base_labels) {
+  const auto* cell = r.find(workload, labels);
+  const auto* base = r.find(workload, base_labels);
+  if (cell == nullptr || base == nullptr) {
+    throw std::invalid_argument("missing campaign cell for '" + workload + "'");
+  }
+  return cell->normalized_to(*base);
 }
 
 /// The five NEMO frequencies, ascending.
@@ -63,7 +108,15 @@ namespace pcd::bench {
 
 /// Shared body of Figures 6 and 7: EXTERNAL control driven by a fused
 /// metric, reported next to what the paper's own Table 2 data selects.
+/// One campaign covers every (code x frequency x trial) point.
 inline void run_external_metric_figure(core::Metric metric, const BenchArgs& args) {
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(base_config(args))
+      .axis(campaign::Axis::static_mhz(nemo_freqs()))
+      .trials(args.trials);
+  const auto result = run(spec, args);
+
   struct Row {
     std::string code;
     int freq;
@@ -74,15 +127,13 @@ inline void run_external_metric_figure(core::Metric metric, const BenchArgs& arg
   };
   std::vector<Row> rows;
 
-  for (const auto& workload : apps::all_npb(args.scale)) {
-    auto sweep = core::sweep_static(workload, base_config(args), nemo_freqs(),
-                                    args.trials);
-    const auto crescendo = sweep.normalized();
+  for (const auto& [label, workload] : spec.workload_entries()) {
+    const auto crescendo = campaign::sweep_of(result, label).normalized();
     const auto choice = core::select_operating_point(crescendo, metric);
 
     const auto* ref = analysis::table2_row(workload.name);
     Row row;
-    row.code = workload.name;
+    row.code = label;
     row.freq = choice.freq_mhz;
     row.at = choice.at;
     if (ref != nullptr && ref->energy_known) {

@@ -4,7 +4,7 @@
 // Paper: internal I (ranks 0-3 @1200, 4-7 @800) saves 23% at 8% delay;
 // internal II (@1000/@800) saves 16% at 8% delay; neither beats
 // external@800 (28% at 8%) because CG's tight synchronization leaves no
-// exploitable slack.
+// exploitable slack.  All seven settings are one strategy axis.
 #include <cstdio>
 
 #include "analysis/reference.hpp"
@@ -17,44 +17,49 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Figure 14: CG.C.8 — heterogeneous INTERNAL vs EXTERNAL vs CPUSPEED").c_str());
 
-  auto cg = apps::make_cg(args.scale);
-  auto sweep = core::sweep_static(cg, bench::base_config(args), bench::nemo_freqs(),
-                                  args.trials);
-  const auto crescendo = sweep.normalized();
-  const double base_delay = sweep.points.back().result.delay_s;
-  const double base_energy = sweep.points.back().result.energy_j;
+  // Figure 13: if (myrank <= 3) high else low.
+  auto hetero = [](int high, int low) {
+    return [high, low](core::RunConfig& c) {
+      c.hooks = core::internal_rank_speed_hooks(
+          [high, low](int rank) { return rank <= 3 ? high : low; });
+    };
+  };
+  std::vector<std::pair<std::string, std::function<void(core::RunConfig&)>>> settings{
+      {"internal I  (1200/800)", hetero(1200, 800)},
+      {"internal II (1000/800)", hetero(1000, 800)}};
+  for (int f : bench::nemo_freqs()) {
+    settings.emplace_back("external " + std::to_string(f),
+                          [f](core::RunConfig& c) { c.static_mhz = f; });
+  }
+  settings.emplace_back("cpuspeed (auto)", [](core::RunConfig& c) {
+    c.daemon = core::CpuspeedParams::v1_2_1();
+  });
+
+  campaign::ExperimentSpec spec;
+  spec.workload(apps::make_cg(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::strategies("setting", settings))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
+  const std::string cg = spec.workload_entries().front().first;
+  const std::vector<std::string> baseline{"external 1400"};
 
   analysis::TextTable t({"setting", "normalized delay", "normalized energy"});
-  auto add = [&](const std::string& label, double d, double e, double pd, double pe) {
-    t.add_row({label, analysis::vs_paper(d, pd), analysis::vs_paper(e, pe)});
+  auto add = [&](const std::string& label, double pd, double pe) {
+    const auto ed = bench::normalized(result, cg, {label}, baseline);
+    t.add_row({label, analysis::vs_paper(ed.delay, pd),
+               analysis::vs_paper(ed.energy, pe)});
   };
 
-  // Figure 13: if (myrank <= 3) high else low.
-  auto hetero = [&](int high, int low) {
-    core::RunConfig cfg = bench::base_config(args);
-    cfg.hooks = core::internal_rank_speed_hooks(
-        [high, low](int rank) { return rank <= 3 ? high : low; });
-    return core::run_trials(cg, cfg, args.trials);
-  };
-  const auto internal1 = hetero(1200, 800);
-  add("internal I  (1200/800)", internal1.delay_s / base_delay,
-      internal1.energy_j / base_energy, 1.08, 0.77);
-  const auto internal2 = hetero(1000, 800);
-  add("internal II (1000/800)", internal2.delay_s / base_delay,
-      internal2.energy_j / base_energy, 1.08, 0.84);
-
+  add("internal I  (1200/800)", 1.08, 0.77);
+  add("internal II (1000/800)", 1.08, 0.84);
   const auto* ref = analysis::table2_row("CG");
   for (int f : bench::nemo_freqs()) {
-    const auto& ed = crescendo.at(f);
-    add("external " + std::to_string(f), ed.delay, ed.energy,
-        ref ? ref->at.at(f).delay : -1, ref ? ref->at.at(f).energy : -1);
+    add("external " + std::to_string(f), ref ? ref->at.at(f).delay : -1,
+        ref ? ref->at.at(f).energy : -1);
   }
-
-  core::RunConfig auto_cfg = bench::base_config(args);
-  auto_cfg.daemon = core::CpuspeedParams::v1_2_1();
-  const auto auto_run = core::run_trials(cg, auto_cfg, args.trials);
-  add("cpuspeed (auto)", auto_run.delay_s / base_delay, auto_run.energy_j / base_energy,
-      ref ? ref->auto_daemon.delay : -1, ref ? ref->auto_daemon.energy : -1);
+  add("cpuspeed (auto)", ref ? ref->auto_daemon.delay : -1,
+      ref ? ref->auto_daemon.energy : -1);
 
   std::printf("%s\n", t.str().c_str());
   std::printf("Paper conclusion (reproduced): heterogeneous internal scheduling "

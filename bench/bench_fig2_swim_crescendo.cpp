@@ -7,7 +7,6 @@
 
 #include "apps/npb.hpp"
 #include "bench/bench_common.hpp"
-#include "core/strategies.hpp"
 
 using namespace pcd;
 
@@ -17,8 +16,9 @@ int main(int argc, char** argv) {
       "Figure 2: energy-delay crescendo for swim (single NEMO node)").c_str());
 
   auto swim = apps::make_swim(args.scale);
-  auto sweep = core::sweep_static(swim, bench::base_config(args), bench::nemo_freqs(),
-                                  args.trials);
+  const auto sweep = campaign::sweep_static(swim, bench::base_config(args),
+                                            bench::nemo_freqs(), args.trials,
+                                            args.threads);
   const auto crescendo = sweep.normalized();
 
   analysis::TextTable t({"CPU speed", "normalized delay", "normalized energy"});

@@ -1,5 +1,7 @@
 // Figure 5: energy-performance efficiency of NPB codes under CPUSPEED
 // 1.2.1 daemon scheduling, sorted by normalized delay.
+//
+// One campaign: every code x {full-speed baseline, daemon} x trials.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -14,36 +16,37 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Figure 5: NPB energy-performance under CPUSPEED 1.2.1 (sorted by delay)").c_str());
 
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::strategies(
+          "setting",
+          {{"1400", [](core::RunConfig& c) { c.static_mhz = 1400; }},
+           {"auto",
+            [](core::RunConfig& c) { c.daemon = core::CpuspeedParams::v1_2_1(); }}}))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
+
   struct Row {
     std::string code;
-    double delay, energy;
+    core::EnergyDelay ed;
     const analysis::Table2Row* ref;
   };
   std::vector<Row> rows;
-
-  for (const auto& workload : apps::all_npb(args.scale)) {
-    // Baseline at full speed.
-    core::RunConfig base_cfg = bench::base_config(args);
-    base_cfg.static_mhz = 1400;
-    const auto base = core::run_trials(workload, base_cfg, args.trials);
-    // Daemon run.
-    core::RunConfig auto_cfg = bench::base_config(args);
-    auto_cfg.daemon = core::CpuspeedParams::v1_2_1();
-    const auto run = core::run_trials(workload, auto_cfg, args.trials);
-    rows.push_back(Row{workload.name, run.delay_s / base.delay_s,
-                       run.energy_j / base.energy_j,
+  for (const auto& [label, workload] : spec.workload_entries()) {
+    rows.push_back(Row{label, bench::normalized(result, label, {"auto"}, {"1400"}),
                        analysis::table2_row(workload.name)});
   }
   std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.delay < b.delay; });
+            [](const Row& a, const Row& b) { return a.ed.delay < b.ed.delay; });
 
   analysis::TextTable t({"code", "normalized delay", "normalized energy"});
   for (const auto& r : rows) {
     t.add_row({r.code,
-               analysis::vs_paper(r.delay, r.ref ? r.ref->auto_daemon.delay : -1),
-               analysis::vs_paper(r.energy, r.ref && r.ref->energy_known
-                                                ? r.ref->auto_daemon.energy
-                                                : -1)});
+               analysis::vs_paper(r.ed.delay, r.ref ? r.ref->auto_daemon.delay : -1),
+               analysis::vs_paper(r.ed.energy, r.ref && r.ref->energy_known
+                                                   ? r.ref->auto_daemon.energy
+                                                   : -1)});
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("Paper: LU/EP ~3-4%% saving at 1-2%% delay; IS/FT ~25%% at 1-4%%; "

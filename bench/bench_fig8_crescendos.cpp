@@ -1,5 +1,6 @@
 // Figure 8: energy-delay crescendos of the eight NPB codes, grouped into
-// the paper's four categories (§5.2).
+// the paper's four categories (§5.2).  One campaign: 8 codes x 5
+// frequencies x trials.
 #include <cstdio>
 
 #include "analysis/crescendo.hpp"
@@ -12,13 +13,18 @@ int main(int argc, char** argv) {
   std::printf("%s", analysis::heading(
       "Figure 8: energy-delay crescendos and Type I-IV classification").c_str());
 
-  int matches = 0, total = 0;
-  for (const auto& workload : apps::all_npb(args.scale)) {
-    auto sweep = core::sweep_static(workload, bench::base_config(args),
-                                    bench::nemo_freqs(), args.trials);
-    const auto crescendo = sweep.normalized();
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::static_mhz(bench::nemo_freqs()))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
 
-    std::printf("%s\n", workload.name.c_str());
+  int matches = 0, total = 0;
+  for (const auto& [label, workload] : spec.workload_entries()) {
+    const auto crescendo = campaign::sweep_of(result, label).normalized();
+
+    std::printf("%s\n", label.c_str());
     std::printf("  %-10s", "delay:");
     for (const auto& [f, ed] : crescendo) std::printf(" %4d:%.2f", f, ed.delay);
     std::printf("\n  %-10s", "energy:");

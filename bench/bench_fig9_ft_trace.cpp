@@ -16,8 +16,9 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   std::printf("%s", analysis::heading("Figure 9: FT.C.8 performance trace").c_str());
 
-  core::RunConfig cfg = bench::base_config(args);
-  cfg.collect_trace = true;
+  const core::RunConfig cfg = core::RunConfigBuilder(bench::base_config(args))
+                                  .collect_trace(true)
+                                  .build();
   const double scale = std::min(args.scale, 0.25);  // short trace is readable
   const auto result = core::run_workload(apps::make_ft(scale), cfg);
 

@@ -2,7 +2,8 @@
 //
 // For each code, runs the CPUSPEED daemon ("auto") and every static
 // frequency, then prints normalized delay (top) and normalized energy
-// (bottom) per cell next to the paper's values.
+// (bottom) per cell next to the paper's values.  The whole table is one
+// campaign: 8 codes x 6 settings x trials.
 #include <cstdio>
 
 #include "analysis/reference.hpp"
@@ -19,27 +20,26 @@ int main(int argc, char** argv) {
               args.scale, args.trials);
 
   const auto freqs = bench::nemo_freqs();
+  std::vector<std::pair<std::string, std::function<void(core::RunConfig&)>>> settings{
+      {"auto", [](core::RunConfig& c) { c.daemon = core::CpuspeedParams::v1_2_1(); }}};
+  for (int f : freqs) {
+    settings.emplace_back(std::to_string(f),
+                          [f](core::RunConfig& c) { c.static_mhz = f; });
+  }
+
+  campaign::ExperimentSpec spec;
+  spec.workloads(apps::all_npb(args.scale))
+      .base(bench::base_config(args))
+      .axis(campaign::Axis::strategies("setting", settings))
+      .trials(args.trials);
+  const auto result = bench::run(spec, args);
+
   analysis::TextTable table({"code", "auto", "600 MHz", "800 MHz", "1000 MHz",
                              "1200 MHz", "1400 MHz"});
-
-  for (const auto& workload : apps::all_npb(args.scale)) {
+  for (const auto& [label, workload] : spec.workload_entries()) {
     const auto* ref = analysis::table2_row(workload.name);
 
-    // Static sweep (EXTERNAL settings).
-    auto sweep = core::sweep_static(workload, bench::base_config(args), freqs,
-                                    args.trials);
-    const auto crescendo = sweep.normalized();
-    const double base_delay = sweep.points.back().result.delay_s;
-    const double base_energy = sweep.points.back().result.energy_j;
-
-    // CPUSPEED daemon ("auto" column).
-    core::RunConfig auto_cfg = bench::base_config(args);
-    auto_cfg.daemon = core::CpuspeedParams::v1_2_1();
-    const auto auto_run = core::run_trials(workload, auto_cfg, args.trials);
-    const double auto_delay = auto_run.delay_s / base_delay;
-    const double auto_energy = auto_run.energy_j / base_energy;
-
-    std::vector<std::string> delay_row{workload.name};
+    std::vector<std::string> delay_row{label};
     std::vector<std::string> energy_row{""};
     auto cell = [&](double measured, double paper, bool known) {
       char buf[64];
@@ -50,11 +50,12 @@ int main(int argc, char** argv) {
       }
       return std::string(buf);
     };
-    delay_row.push_back(cell(auto_delay, ref ? ref->auto_daemon.delay : 0, ref));
-    energy_row.push_back(cell(auto_energy, ref ? ref->auto_daemon.energy : 0,
+    const auto auto_ed = bench::normalized(result, label, {"auto"}, {"1400"});
+    delay_row.push_back(cell(auto_ed.delay, ref ? ref->auto_daemon.delay : 0, ref));
+    energy_row.push_back(cell(auto_ed.energy, ref ? ref->auto_daemon.energy : 0,
                               ref && ref->energy_known));
     for (int f : freqs) {
-      const auto& ed = crescendo.at(f);
+      const auto ed = bench::normalized(result, label, {std::to_string(f)}, {"1400"});
       const auto* paper = ref && ref->at.count(f) ? &ref->at.at(f) : nullptr;
       delay_row.push_back(cell(ed.delay, paper ? paper->delay : 0, paper != nullptr));
       energy_row.push_back(cell(ed.energy, paper ? paper->energy : 0,

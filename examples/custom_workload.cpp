@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/workload.hpp"
+#include "campaign/sweeps.hpp"
 #include "core/runner.hpp"
 #include "core/strategies.hpp"
 
@@ -59,7 +60,7 @@ int main() {
   std::printf("custom workload: %s\n\n", app.description.c_str());
 
   // 1. Black-box frequency sweep -> crescendo.
-  auto sweep = core::sweep_static(app, core::RunConfig{});
+  auto sweep = campaign::sweep_static(app, core::RunConfig{});
   const auto crescendo = sweep.normalized();
   std::printf("crescendo (freq: delay / energy):\n");
   for (const auto& [f, ed] : crescendo) {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "apps/npb.hpp"
+#include "campaign/sweeps.hpp"
 #include "core/runner.hpp"
 #include "core/strategies.hpp"
 
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
 
   std::printf("profiling %s as a black box across static frequencies...\n\n",
               workload->name.c_str());
-  auto sweep = core::sweep_static(*workload, core::RunConfig{});
+  auto sweep = campaign::sweep_static(*workload, core::RunConfig{});
   const auto crescendo = sweep.normalized();
 
   std::printf("%-10s %-12s %-12s %-8s %-8s %-8s\n", "freq", "norm delay",

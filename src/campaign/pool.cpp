@@ -1,0 +1,96 @@
+#include "campaign/pool.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcd::campaign {
+
+int effective_threads(int threads, std::size_t items) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (items < static_cast<std::size_t>(threads)) threads = static_cast<int>(items);
+  return std::max(threads, 1);
+}
+
+namespace {
+
+struct WorkerQueue {
+  std::mutex m;
+  std::deque<std::size_t> q;
+
+  bool pop_front(std::size_t* out) {
+    std::lock_guard lock(m);
+    if (q.empty()) return false;
+    *out = q.front();
+    q.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t* out) {
+    std::lock_guard lock(m);
+    if (q.empty()) return false;
+    *out = q.back();
+    q.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void run_indexed(std::size_t items, int threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (items == 0) return;
+  const int n = effective_threads(threads, items);
+  if (n == 1) {
+    for (std::size_t i = 0; i < items; ++i) fn(i);
+    return;
+  }
+
+  // Deal contiguous blocks: worker w owns [w*items/n, (w+1)*items/n).
+  std::vector<WorkerQueue> queues(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    const std::size_t lo = items * static_cast<std::size_t>(w) / n;
+    const std::size_t hi = items * (static_cast<std::size_t>(w) + 1) / n;
+    for (std::size_t i = lo; i < hi; ++i) queues[w].q.push_back(i);
+  }
+
+  std::mutex err_mutex;
+  std::size_t first_err_item = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_err;
+
+  auto worker = [&](int self) {
+    std::size_t item;
+    for (;;) {
+      bool got = queues[self].pop_front(&item);
+      for (int k = 1; !got && k < n; ++k) {
+        got = queues[(self + k) % n].steal_back(&item);
+      }
+      if (!got) return;  // every deque empty: all items claimed
+      try {
+        fn(item);
+      } catch (...) {
+        std::lock_guard lock(err_mutex);
+        if (item < first_err_item) {
+          first_err_item = item;
+          first_err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(n) - 1);
+  for (int w = 1; w < n; ++w) team.emplace_back(worker, w);
+  worker(0);
+  for (auto& t : team) t.join();
+  if (first_err) std::rethrow_exception(first_err);
+}
+
+}  // namespace pcd::campaign

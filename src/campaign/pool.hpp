@@ -1,0 +1,31 @@
+// Work-stealing execution of an index space over a fixed thread team.
+//
+// Items are dealt to per-worker deques in contiguous blocks; each worker
+// pops from the front of its own deque (cache-friendly, preserves locality
+// of neighbouring cells) and, when empty, steals from the *back* of a
+// victim's deque — so long-tailed items (a paper-scale FT run next to a
+// 600 MHz EP run) rebalance instead of serializing the tail.
+//
+// The pool imposes no ordering: callers must make fn(i) independent and
+// write results into slot i.  Exceptions escaping fn stop nothing — every
+// item still runs — but the first one (by item index) is rethrown after
+// the team joins.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pcd::campaign {
+
+/// Number of workers actually used for `threads` requested over `items`
+/// (0 = hardware concurrency; never more workers than items, never < 1).
+int effective_threads(int threads, std::size_t items);
+
+/// Runs fn(0..items-1) across `threads` workers; blocks until all complete.
+/// threads <= 1 (or a single item) degenerates to an inline loop on the
+/// calling thread — the serial reference executions in tests/benches pay
+/// no synchronization cost.
+void run_indexed(std::size_t items, int threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace pcd::campaign

@@ -1,0 +1,98 @@
+// Campaign results: one aggregated cell per point of the run matrix.
+//
+// Trials stream into their cell as they finish (on whatever worker thread
+// ran them) and are reduced to summary statistics plus one representative
+// RunResult as soon as the cell completes — full per-trial results
+// (telemetry snapshots, traces) are not retained for the whole campaign,
+// so memory stays bounded by cells-in-flight, not by total runs.
+//
+// Aggregation is a pure function of the cell's trial results indexed by
+// trial number, so a CampaignResult is byte-identical across thread
+// counts; tsv()/fingerprint() exist to assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/runner.hpp"
+
+namespace pcd::campaign {
+
+/// Five-number-ish summary of one metric across a cell's trials.
+struct Summary {
+  int n = 0;
+  double median = 0, q1 = 0, q3 = 0, min = 0, max = 0, mean = 0;
+
+  /// Median = average of the two middle elements for even n; quartiles by
+  /// the same midpoint rule on the lower/upper halves (inclusive of the
+  /// middle element for odd n).
+  static Summary of(std::vector<double> values);
+};
+
+/// Outcome of a single run inside a cell: the result, or the exception it
+/// escaped with.
+struct TrialRecord {
+  core::RunResult result;
+  bool threw = false;
+  std::string error;  // exception text when threw
+};
+
+struct CellResult {
+  std::size_t index = 0;               // row-major position in the matrix
+  std::string workload;
+  std::vector<std::string> labels;     // one per axis, in axis order
+  std::vector<double> numbers;         // numeric axis values (see AxisValue)
+  std::vector<bool> numeric;
+
+  /// Representative run: the trial whose delay is closest to the median
+  /// (ties: closest energy to the energy median, then lowest trial index),
+  /// with delay_s/energy_j overwritten by the true medians — so the
+  /// headline numbers follow the paper's median-of-trials rule while every
+  /// other field is consistently from one real run.
+  core::RunResult result;
+
+  Summary delay, energy;
+  int runs = 0;       // trials attempted
+  int failures = 0;   // structured RunResult failures + thrown trials
+  int thrown = 0;     // of those, trials that escaped with an exception
+  std::vector<std::string> errors;       // distinct failure/error strings
+  std::string first_exception;           // text of the first thrown trial
+
+  /// Median normalized against another cell (e.g. the full-speed baseline).
+  core::EnergyDelay normalized_to(const CellResult& baseline) const;
+};
+
+/// Aggregates one cell from its trial records (ordered by trial index).
+CellResult aggregate_cell(std::vector<TrialRecord> trials);
+
+class CampaignResult {
+ public:
+  std::vector<std::string> axis_names;  // excludes the implicit workload axis
+  std::vector<CellResult> cells;        // row-major, workload outermost
+  std::size_t total_runs = 0;
+  int threads = 1;      // as executed (not part of tsv())
+  double wall_s = 0;    // real wall-clock time (not part of tsv())
+
+  /// Cell lookup by workload label + axis labels (empty labels = the
+  /// workload's only cell).  Null when absent.
+  const CellResult* find(const std::string& workload,
+                         const std::vector<std::string>& labels = {}) const;
+
+  /// All cells of one workload, in matrix order.
+  std::vector<const CellResult*> select(const std::string& workload) const;
+
+  /// Human-readable table (one row per cell).
+  std::string table() const;
+
+  /// Deterministic serialization of every cell (hex-exact doubles, no
+  /// wall-clock or thread count): byte-identical across thread counts.
+  std::string tsv() const;
+
+  /// FNV-1a of tsv(), for cheap determinism assertions.
+  std::uint64_t fingerprint() const;
+};
+
+}  // namespace pcd::campaign

@@ -1,0 +1,118 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "campaign/pool.hpp"
+
+namespace pcd::campaign {
+
+CampaignResult CampaignRunner::run(const ExperimentSpec& spec) const {
+  const auto plans = spec.expand();
+  const int trials = spec.trial_count();
+  const auto& workloads = spec.workload_entries();
+
+  CampaignResult result;
+  for (const auto& a : spec.axes()) result.axis_names.push_back(a.name);
+  result.total_runs = plans.size() * static_cast<std::size_t>(trials);
+  result.cells.resize(plans.size());
+
+  // Per-cell trial buffers, freed as soon as the cell aggregates.
+  struct CellState {
+    std::vector<TrialRecord> records;
+    std::atomic<int> remaining;
+  };
+  std::vector<CellState> states(plans.size());
+  for (auto& s : states) {
+    s.records.resize(static_cast<std::size_t>(trials));
+    s.remaining.store(trials, std::memory_order_relaxed);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::mutex progress_mutex;
+  std::size_t completed = 0, failures = 0;
+  telemetry::Counter* runs_total = nullptr;
+  telemetry::Counter* failures_total = nullptr;
+  telemetry::Gauge* in_flight = nullptr;
+  if (options_.metrics != nullptr) {
+    runs_total = &options_.metrics->counter("campaign_runs_total");
+    failures_total = &options_.metrics->counter("campaign_failures_total");
+    in_flight = &options_.metrics->gauge("campaign_runs_in_flight");
+    in_flight->set(static_cast<double>(result.total_runs));
+  }
+
+  const int threads = effective_threads(options_.threads, result.total_runs);
+  result.threads = threads;
+
+  auto execute = [&](std::size_t unit) {
+    const std::size_t cell_index = unit / static_cast<std::size_t>(trials);
+    const int trial = static_cast<int>(unit % static_cast<std::size_t>(trials));
+    const CellPlan& plan = plans[cell_index];
+
+    TrialRecord rec;
+    try {
+      rec.result = core::run_workload(workloads[plan.workload].second,
+                                      trial_config(plan.config, trial));
+    } catch (const std::exception& e) {
+      rec.threw = true;
+      rec.error = e.what();
+    } catch (...) {
+      rec.threw = true;
+      rec.error = "unknown exception";
+    }
+    const bool run_failed = rec.threw || rec.result.failed;
+
+    CellState& state = states[cell_index];
+    state.records[static_cast<std::size_t>(trial)] = std::move(rec);
+    // The worker that stores the cell's last trial aggregates it; the
+    // release/acquire pair orders every trial's store before the reads.
+    if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      CellResult cell = aggregate_cell(std::move(state.records));
+      cell.index = plan.index;
+      cell.workload = plan.workload_label;
+      cell.labels = plan.labels;
+      cell.numbers = plan.numbers;
+      cell.numeric = plan.numeric;
+      result.cells[cell_index] = std::move(cell);
+      state.records = {};  // bounded memory: drop the trial buffer now
+    }
+
+    if (options_.on_progress || options_.metrics != nullptr) {
+      std::lock_guard lock(progress_mutex);
+      ++completed;
+      if (run_failed) ++failures;
+      if (runs_total != nullptr) {
+        runs_total->inc();
+        if (run_failed) failures_total->inc();
+        in_flight->set(static_cast<double>(result.total_runs - completed));
+      }
+      if (options_.on_progress) {
+        Progress p;
+        p.completed = completed;
+        p.total = result.total_runs;
+        p.failures = failures;
+        p.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                       .count();
+        p.cell = plan.workload_label;
+        for (const auto& l : plan.labels) p.cell += " / " + l;
+        options_.on_progress(p);
+      }
+    }
+  };
+
+  run_indexed(result.total_runs, threads, execute);
+
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+CampaignResult run_campaign(const ExperimentSpec& spec, CampaignOptions options) {
+  return CampaignRunner(std::move(options)).run(spec);
+}
+
+}  // namespace pcd::campaign

@@ -1,0 +1,61 @@
+// CampaignRunner: executes an ExperimentSpec's run matrix concurrently.
+//
+// Every run is a pure function of its RunConfig (share-nothing: each
+// run_workload builds its own Engine/Cluster/Comm; src has no mutable
+// globals), so the matrix parallelizes without locks around the model.
+// Trials land in per-cell slots indexed by trial number; the worker that
+// completes a cell's last trial aggregates it immediately and releases the
+// buffered results, keeping memory bounded by cells in flight.
+//
+// The CampaignResult is byte-identical for any thread count — seeds derive
+// from (cell, trial) coordinates, aggregation reads slots in trial order,
+// and cells sit at fixed matrix positions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "campaign/result.hpp"
+#include "campaign/spec.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pcd::campaign {
+
+/// Snapshot handed to the progress callback after every completed run.
+struct Progress {
+  std::size_t completed = 0;  // runs finished so far
+  std::size_t total = 0;      // total runs in the matrix
+  std::size_t failures = 0;   // structured failures + thrown runs so far
+  double wall_s = 0;          // real time since the campaign started
+  std::string cell;           // "workload / label / label" of the finished run
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial reference.
+  int threads = 0;
+
+  /// Invoked after every run (serialized; may be called from any worker).
+  std::function<void(const Progress&)> on_progress;
+
+  /// Optional feed into the telemetry layer: campaign_runs_total,
+  /// campaign_failures_total counters and a campaign_runs_in_flight gauge,
+  /// updated under the same lock as on_progress.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {}) : options_(std::move(options)) {}
+
+  /// Expands (eagerly validating every cell), executes, aggregates.
+  CampaignResult run(const ExperimentSpec& spec) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// One-call convenience.
+CampaignResult run_campaign(const ExperimentSpec& spec, CampaignOptions options = {});
+
+}  // namespace pcd::campaign

@@ -1,0 +1,65 @@
+#include "campaign/sweeps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcd::campaign {
+
+core::RunResult run_trials(const apps::Workload& workload, core::RunConfig config,
+                           int trials, int threads) {
+  ExperimentSpec spec;
+  spec.workload(workload).base(std::move(config)).trials(trials);
+  CampaignOptions options;
+  options.threads = threads;
+  const auto result = CampaignRunner(options).run(spec);
+  const CellResult& cell = result.cells.front();
+  if (cell.thrown > 0) {
+    // The old serial loop propagated trial exceptions; keep that contract.
+    throw std::runtime_error(cell.first_exception);
+  }
+  return cell.result;
+}
+
+core::StaticSweep sweep_static(const apps::Workload& workload, core::RunConfig config,
+                               std::vector<int> freqs, int trials, int threads) {
+  if (freqs.empty()) {
+    for (const auto& op : config.cluster.node.operating_points.points()) {
+      freqs.push_back(op.freq_mhz);
+    }
+  }
+  ExperimentSpec spec;
+  spec.workload(workload).base(std::move(config)).axis(Axis::static_mhz(freqs)).trials(trials);
+  CampaignOptions options;
+  options.threads = threads;
+  return sweep_of(CampaignRunner(options).run(spec), spec.workload_entries().front().first);
+}
+
+core::StaticSweep sweep_of(const CampaignResult& result, const std::string& workload) {
+  // Locate the static-MHz axis: the numeric axis whose label matches its
+  // value (Axis::static_mhz produces exactly that shape).
+  const auto axis_it =
+      std::find(result.axis_names.begin(), result.axis_names.end(), "static MHz");
+  if (axis_it == result.axis_names.end()) {
+    throw std::invalid_argument("campaign has no 'static MHz' axis");
+  }
+  const std::size_t axis = static_cast<std::size_t>(axis_it - result.axis_names.begin());
+
+  core::StaticSweep sweep;
+  for (const CellResult* cell : result.select(workload)) {
+    const int f = static_cast<int>(std::lround(cell->numbers.at(axis)));
+    sweep.points.push_back(core::SweepPoint{f, cell->result});
+    sweep.base_mhz = std::max(sweep.base_mhz, f);
+  }
+  if (sweep.points.empty()) {
+    throw std::invalid_argument("no cells for workload '" + workload + "'");
+  }
+  // Keep the classic ascending-frequency ordering regardless of axis order.
+  std::sort(sweep.points.begin(), sweep.points.end(),
+            [](const core::SweepPoint& a, const core::SweepPoint& b) {
+              return a.freq_mhz < b.freq_mhz;
+            });
+  return sweep;
+}
+
+}  // namespace pcd::campaign

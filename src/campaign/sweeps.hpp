@@ -1,0 +1,36 @@
+// The classic runner entry points, reimplemented as campaigns.
+//
+// run_trials and sweep_static were serial loops in core/; they are now
+// thin one- and two-axis ExperimentSpecs, so they share the campaign's
+// seeding, aggregation, and (optionally) its thread pool, and their
+// results are bit-identical at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "campaign/result.hpp"
+#include "campaign/runner.hpp"
+#include "core/strategies.hpp"
+
+namespace pcd::campaign {
+
+/// The paper's methodology: repeat >= `trials` times (trial t at seed +
+/// t*7919) and aggregate to the median.  The returned RunResult carries
+/// the median delay/energy; every other field comes consistently from the
+/// representative (median-delay) trial — see CellResult::result.
+/// Rethrows (as std::runtime_error) if any trial threw.
+core::RunResult run_trials(const apps::Workload& workload, core::RunConfig config,
+                           int trials = 3, int threads = 0);
+
+/// EXTERNAL profiling: the workload at every frequency in `freqs` (default:
+/// the cluster's operating points) x `trials`, expanded as a campaign.
+core::StaticSweep sweep_static(const apps::Workload& workload, core::RunConfig config,
+                               std::vector<int> freqs = {}, int trials = 1,
+                               int threads = 0);
+
+/// Rebuilds a StaticSweep for one workload from a campaign that swept
+/// Axis::static_mhz — for specs that fuse several workloads into one
+/// matrix (e.g. Figures 6-8) and then want per-workload crescendos.
+core::StaticSweep sweep_of(const CampaignResult& result, const std::string& workload);
+
+}  // namespace pcd::campaign

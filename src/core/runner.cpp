@@ -86,15 +86,75 @@ sim::Process progress_watchdog(sim::Engine& engine, machine::Cluster& cluster,
   }
 }
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
-}
-
 }  // namespace
 
+std::string describe(const std::vector<ConfigIssue>& issues) {
+  std::string out;
+  for (const auto& i : issues) {
+    if (!out.empty()) out += "; ";
+    out += i.field + ": " + i.message;
+  }
+  return out;
+}
+
+std::vector<ConfigIssue> RunConfig::validate() const {
+  std::vector<ConfigIssue> issues;
+  if (daemon.has_value() && predictor.has_value()) {
+    issues.push_back({"daemon/predictor",
+                      "CPUSPEED daemon and phase predictor are mutually "
+                      "exclusive strategies; configure at most one"});
+  }
+  if (slice_s <= 0) {
+    issues.push_back({"slice_s", "compute-phase slice must be positive, got " +
+                                     std::to_string(slice_s)});
+  }
+  if (static_mhz < 0) {
+    issues.push_back({"static_mhz", "static frequency cannot be negative, got " +
+                                        std::to_string(static_mhz)});
+  }
+  if (daemon.has_value() && daemon->interval_s <= 0) {
+    issues.push_back({"daemon.interval_s", "daemon polling interval must be positive"});
+  }
+  if (predictor.has_value() && predictor->interval_s <= 0) {
+    issues.push_back({"predictor.interval_s",
+                      "predictor polling interval must be positive"});
+  }
+  for (const auto& e : faults.events) {
+    if (e.at_s < 0) {
+      issues.push_back({"faults.events", "scripted fault scheduled before launch (at_s = " +
+                                             std::to_string(e.at_s) + ")"});
+      break;
+    }
+  }
+  for (const auto& h : faults.hazards) {
+    if (h.mtbf_s <= 0) {
+      issues.push_back({"faults.hazards", "hazard MTBF must be positive"});
+      break;
+    }
+  }
+  if (faults.horizon_s < 0) {
+    issues.push_back({"faults.horizon_s", "hazard horizon cannot be negative"});
+  }
+  if (faults.resilience.checkpoint_interval_s < 0 ||
+      faults.resilience.checkpoint_cost_s < 0) {
+    issues.push_back({"faults.resilience",
+                      "checkpoint interval/cost cannot be negative"});
+  }
+  return issues;
+}
+
+RunConfig RunConfigBuilder::build() const {
+  auto issues = cfg_.validate();
+  if (!issues.empty()) {
+    throw std::invalid_argument("invalid RunConfig: " + describe(issues));
+  }
+  return cfg_;
+}
+
 RunResult run_workload(const apps::Workload& workload, const RunConfig& config) {
+  if (auto issues = config.validate(); !issues.empty()) {
+    throw std::invalid_argument("invalid RunConfig: " + describe(issues));
+  }
   sim::Engine engine;
 
   machine::ClusterConfig cc = config.cluster;
@@ -367,28 +427,6 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   // the cluster (declared above) is still alive rather than in ~Engine.
   engine.destroy_suspended_frames();
   return result;
-}
-
-RunResult run_trials(const apps::Workload& workload, RunConfig config, int trials) {
-  if (trials < 1) throw std::invalid_argument("need at least one trial");
-  std::vector<RunResult> runs;
-  runs.reserve(trials);
-  for (int t = 0; t < trials; ++t) {
-    RunConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(t) * 7919;
-    runs.push_back(run_workload(workload, c));
-  }
-  // Median delay/energy rejects outliers, mirroring the paper's repeated
-  // measurements.
-  RunResult out = runs.front();
-  std::vector<double> delays, energies;
-  for (const auto& r : runs) {
-    delays.push_back(r.delay_s);
-    energies.push_back(r.energy_j);
-  }
-  out.delay_s = median(delays);
-  out.energy_j = median(energies);
-  return out;
 }
 
 }  // namespace pcd::core

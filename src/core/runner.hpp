@@ -26,6 +26,15 @@
 
 namespace pcd::core {
 
+/// One structured configuration problem found by RunConfig::validate().
+struct ConfigIssue {
+  std::string field;    // e.g. "daemon/predictor", "slice_s"
+  std::string message;  // human-readable explanation
+};
+
+/// Renders an issue list as a one-per-line string (for exception texts).
+std::string describe(const std::vector<ConfigIssue>& issues);
+
 struct RunConfig {
   std::uint64_t seed = 1;
 
@@ -66,6 +75,12 @@ struct RunConfig {
 
   /// Compute-phase slice length (see AppContext).
   double slice_s = 0.050;
+
+  /// Checks the configuration for contradictions and returns every problem
+  /// found (empty = valid).  `run_workload` calls this and refuses to start
+  /// on a non-empty list, so a daemon+predictor conflict or a negative
+  /// slice is a structured error instead of undefined behaviour.
+  std::vector<ConfigIssue> validate() const;
 };
 
 struct RunResult {
@@ -95,11 +110,44 @@ struct RunResult {
   std::optional<fault::FaultReport> fault_report;
 };
 
-/// Executes one measured run.
+/// Executes one measured run.  Throws std::invalid_argument (with the
+/// rendered issue list) when `config.validate()` is non-empty.
 RunResult run_workload(const apps::Workload& workload, const RunConfig& config = {});
 
-/// The paper's methodology: repeat >= `trials` times (different seeds) and
-/// take the median delay/energy to reject outliers.
-RunResult run_trials(const apps::Workload& workload, RunConfig config, int trials = 3);
+/// Fluent RunConfig construction with eager validation: setters record the
+/// intent, `build()` runs RunConfig::validate() and throws
+/// std::invalid_argument with the full structured issue list on any
+/// contradiction (daemon+predictor, negative slice, ...).  `issues()`
+/// exposes the same list without throwing, for callers that want to
+/// surface errors instead of raising.
+///
+/// Repeated-trial and sweep execution live in campaign/ (run_trials,
+/// sweep_static, ExperimentSpec): every multi-run shape is a campaign.
+class RunConfigBuilder {
+ public:
+  RunConfigBuilder() = default;
+  explicit RunConfigBuilder(RunConfig base) : cfg_(std::move(base)) {}
+
+  RunConfigBuilder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+  RunConfigBuilder& static_mhz(int mhz) { cfg_.static_mhz = mhz; return *this; }
+  RunConfigBuilder& daemon(CpuspeedParams p) { cfg_.daemon = p; return *this; }
+  RunConfigBuilder& predictor(PhasePredictorParams p) { cfg_.predictor = p; return *this; }
+  RunConfigBuilder& hooks(apps::DvsHooks h) { cfg_.hooks = std::move(h); return *this; }
+  RunConfigBuilder& collect_trace(bool on = true) { cfg_.collect_trace = on; return *this; }
+  RunConfigBuilder& telemetry(telemetry::TelemetryOptions t) { cfg_.telemetry = std::move(t); return *this; }
+  RunConfigBuilder& use_meters(bool on = true) { cfg_.use_meters = on; return *this; }
+  RunConfigBuilder& faults(fault::FaultPlan plan) { cfg_.faults = std::move(plan); return *this; }
+  RunConfigBuilder& cluster(machine::ClusterConfig c) { cfg_.cluster = std::move(c); return *this; }
+  RunConfigBuilder& slice_s(double s) { cfg_.slice_s = s; return *this; }
+
+  /// The issues `build()` would throw on (empty = valid).
+  std::vector<ConfigIssue> issues() const { return cfg_.validate(); }
+
+  /// Validates and returns the finished config; throws on any issue.
+  RunConfig build() const;
+
+ private:
+  RunConfig cfg_;
+};
 
 }  // namespace pcd::core

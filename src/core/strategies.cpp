@@ -24,23 +24,6 @@ Crescendo StaticSweep::normalized() const {
   return c;
 }
 
-StaticSweep sweep_static(const apps::Workload& workload, RunConfig config,
-                         std::vector<int> freqs, int trials) {
-  if (freqs.empty()) {
-    for (const auto& op : config.cluster.node.operating_points.points()) {
-      freqs.push_back(op.freq_mhz);
-    }
-  }
-  StaticSweep sweep;
-  sweep.base_mhz = *std::max_element(freqs.begin(), freqs.end());
-  for (int f : freqs) {
-    RunConfig c = config;
-    c.static_mhz = f;
-    sweep.points.push_back(SweepPoint{f, run_trials(workload, c, trials)});
-  }
-  return sweep;
-}
-
 ExternalDecision run_external(const apps::Workload& workload, const RunConfig& config,
                               const StaticSweep& sweep, Metric metric) {
   const auto choice = select_operating_point(sweep.normalized(), metric);

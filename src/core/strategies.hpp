@@ -30,10 +30,9 @@ struct StaticSweep {
   Crescendo normalized() const;
 };
 
-/// EXTERNAL profiling: run the workload at every frequency in `freqs`
-/// (defaults to the cluster's operating points) with `trials` repetitions.
-StaticSweep sweep_static(const apps::Workload& workload, RunConfig config,
-                         std::vector<int> freqs = {}, int trials = 1);
+// EXTERNAL profiling (the static-frequency sweep itself) lives in
+// campaign/sweeps.hpp: campaign::sweep_static expands to a one-axis
+// ExperimentSpec and can execute the points concurrently.
 
 /// EXTERNAL selection + run: choose the operating point minimizing `metric`
 /// over the sweep and return the measured result at that point.

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "apps/npb.hpp"
+#include "campaign/sweeps.hpp"
 #include "core/runner.hpp"
 #include "core/strategies.hpp"
 
@@ -41,10 +42,10 @@ TEST(Runner, SeedsPerturbStochasticRuns) {
 TEST(Runner, TrialsTakeMedian) {
   core::RunConfig cfg;
   const auto one = core::run_workload(apps::make_ft(kTinyScale), cfg);
-  const auto med = core::run_trials(apps::make_ft(kTinyScale), cfg, 3);
+  const auto med = campaign::run_trials(apps::make_ft(kTinyScale), cfg, 3);
   // Median of three near-identical runs stays close to a single run.
   EXPECT_NEAR(med.delay_s, one.delay_s, 0.05 * one.delay_s);
-  EXPECT_THROW(core::run_trials(apps::make_ft(kTinyScale), cfg, 0),
+  EXPECT_THROW(campaign::run_trials(apps::make_ft(kTinyScale), cfg, 0),
                std::invalid_argument);
 }
 
@@ -139,7 +140,7 @@ TEST(Strategies, CgPhasePoliciesHurtButRankPolicyWorks) {
 }
 
 TEST(Strategies, SweepNormalizesAgainstHighestFrequency) {
-  auto sweep = core::sweep_static(apps::make_cg(kTinyScale), core::RunConfig{},
+  auto sweep = campaign::sweep_static(apps::make_cg(kTinyScale), core::RunConfig{},
                                   {600, 1400});
   const auto c = sweep.normalized();
   EXPECT_DOUBLE_EQ(c.at(1400).delay, 1.0);
@@ -151,7 +152,7 @@ TEST(Strategies, SweepNormalizesAgainstHighestFrequency) {
 TEST(Strategies, ExternalRunUsesChosenFrequency) {
   auto cg = apps::make_cg(kTinyScale);
   core::RunConfig cfg;
-  auto sweep = core::sweep_static(cg, cfg);
+  auto sweep = campaign::sweep_static(cg, cfg);
   const auto decision = core::run_external(cg, cfg, sweep, core::Metric::ED2P);
   EXPECT_TRUE(decision.choice.freq_mhz >= 600 && decision.choice.freq_mhz <= 1400);
   EXPECT_GT(decision.result.delay_s, 0);
@@ -192,12 +193,12 @@ TEST_P(StaticSweepProperty, DelayAndEnergyBehaveSanely) {
   core::RunConfig base_cfg;
   base_cfg.static_mhz = 1400;
   base_cfg.seed = 11;
-  const auto base = core::run_trials(workload, base_cfg, 2);
+  const auto base = campaign::run_trials(workload, base_cfg, 2);
 
   core::RunConfig cfg;
   cfg.static_mhz = freq;
   cfg.seed = 11;
-  const auto run = core::run_trials(workload, cfg, 2);
+  const auto run = campaign::run_trials(workload, cfg, 2);
 
   const double delay_n = run.delay_s / base.delay_s;
   const double energy_n = run.energy_j / base.energy_j;
