@@ -3,7 +3,9 @@
 // and end-to-end workload simulation rate.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "apps/npb.hpp"
 #include "core/runner.hpp"
@@ -28,6 +30,46 @@ static void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+static void BM_EnginePeriodicTimers(benchmark::State& state) {
+  // Steady-state cost of pooled periodic timers (cpuspeed daemons, samplers,
+  // battery polls): n wheel-parked timers re-arming in place, no heap churn.
+  const int n = static_cast<int>(state.range(0));
+  sim::Engine e;
+  std::int64_t fires = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(e.schedule_every(sim::from_millis(1.0 + i % 7), [&fires] { ++fires; }));
+  }
+  for (auto _ : state) {
+    const std::int64_t before = fires;
+    e.run_until(e.now() + sim::from_millis(64.0));
+    benchmark::DoNotOptimize(fires - before);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fires));
+  for (auto id : ids) e.cancel(id);
+}
+BENCHMARK(BM_EnginePeriodicTimers)->Arg(16)->Arg(256);
+
+static void BM_EngineScheduleCancel(benchmark::State& state) {
+  // Schedule + O(1) cancel churn (MPI timeout guards armed and disarmed per
+  // message): slots recycle through the free list, dead entries are skipped
+  // lazily, and nothing allocates in steady state.
+  const int n = static_cast<int>(state.range(0));
+  sim::Engine e;
+  std::vector<sim::EventId> ids;
+  ids.reserve(n);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(e.schedule_in(sim::from_millis(5.0) + i, [] {}));
+    }
+    for (auto id : ids) benchmark::DoNotOptimize(e.cancel(id));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleCancel)->Arg(1024);
 
 static void BM_CoroutineDelayChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

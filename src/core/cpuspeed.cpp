@@ -13,16 +13,19 @@ void CpuspeedDaemon::start() {
   if (running_) return;
   running_ = true;
   last_busy_ns_ = node_.cpu().busy_weighted_ns();
+  // One pooled timer for the whole daemon lifetime: the poll loop re-arms in
+  // place inside the engine's timer wheel instead of pushing a fresh heap
+  // event per tick.
   next_tick_ =
-      engine_.schedule_in(start_offset_ + sim::from_seconds(params_.interval_s),
-                          [this] { tick(); });
+      engine_.schedule_every(start_offset_ + sim::from_seconds(params_.interval_s),
+                             sim::from_seconds(params_.interval_s), [this] { tick(); });
 }
 
 void CpuspeedDaemon::stop() {
   if (!running_) return;
   running_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 void CpuspeedDaemon::tick() {
@@ -59,8 +62,6 @@ void CpuspeedDaemon::tick() {
     node_.set_cpuspeed(table.at(s).freq_mhz, telemetry::DvsCause::DaemonThreshold,
                        usage, why);
   }
-  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.interval_s),
-                                   [this] { tick(); });
 }
 
 }  // namespace pcd::core

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "machine/node.hpp"
@@ -66,7 +65,7 @@ class CpuspeedDaemon {
   CpuspeedParams params_;
   sim::SimDuration start_offset_;
   bool running_ = false;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
   double last_busy_ns_ = 0;
   std::int64_t polls_ = 0;
   std::int64_t speed_changes_ = 0;

@@ -14,15 +14,15 @@ void PhasePredictorDaemon::start() {
   running_ = true;
   last_busy_ns_ = node_.cpu().busy_weighted_ns();
   next_tick_ =
-      engine_.schedule_in(start_offset_ + sim::from_seconds(params_.interval_s),
-                          [this] { tick(); });
+      engine_.schedule_every(start_offset_ + sim::from_seconds(params_.interval_s),
+                             sim::from_seconds(params_.interval_s), [this] { tick(); });
 }
 
 void PhasePredictorDaemon::stop() {
   if (!running_) return;
   running_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 int PhasePredictorDaemon::mixed_frequency(const cpu::OperatingPointTable& table,
@@ -67,8 +67,6 @@ void PhasePredictorDaemon::tick() {
   }
 
   apply(confirmed_, usage);
-  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.interval_s),
-                                   [this] { tick(); });
 }
 
 void PhasePredictorDaemon::apply(Phase phase, double utilization) {

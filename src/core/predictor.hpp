@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "machine/node.hpp"
 #include "sim/engine.hpp"
@@ -70,7 +69,7 @@ class PhasePredictorDaemon {
   PhasePredictorParams params_;
   sim::SimDuration start_offset_;
   bool running_ = false;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
   double last_busy_ns_ = 0;
   Phase confirmed_ = Phase::Compute;
   Phase candidate_ = Phase::Compute;

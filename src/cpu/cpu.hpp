@@ -21,11 +21,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "cpu/operating_point.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
@@ -216,7 +216,7 @@ class Cpu {
   /// Registered observer, invoked immediately *before* every state or
   /// operating-point change so it can integrate the elapsed interval at the
   /// old power level (the node power model subscribes here).
-  void set_change_listener(std::function<void()> cb) { listener_ = std::move(cb); }
+  void set_change_listener(sim::InlineFunction<void()> cb) { listener_ = std::move(cb); }
 
   /// Attaches the telemetry hub: every *completed* transition is reported
   /// with the exact instant the new operating point became active.  Null
@@ -279,7 +279,7 @@ class Cpu {
   sim::SimTime last_touch_ = 0;
   double busy_weighted_accum_ns_ = 0;
   CpuStats stats_;
-  std::function<void()> listener_;
+  sim::InlineFunction<void()> listener_;
   telemetry::Hub* telemetry_ = nullptr;
   int telemetry_node_ = -1;
 };

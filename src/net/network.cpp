@@ -7,7 +7,7 @@
 namespace pcd::net {
 
 Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng rng,
-                 std::function<void(int, int)> nic_activity)
+                 sim::InlineFunction<void(int, int)> nic_activity)
     : engine_(engine),
       params_(params),
       rng_(rng),

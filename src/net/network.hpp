@@ -24,10 +24,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
@@ -62,7 +62,7 @@ class Network {
   /// `nic_activity(node, delta)` is invoked with +1/-1 as transfers begin /
   /// end wire occupancy on a node (drives NIC power).  May be empty.
   Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng rng,
-          std::function<void(int node, int delta)> nic_activity = {});
+          sim::InlineFunction<void(int node, int delta)> nic_activity = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -148,7 +148,7 @@ class Network {
   sim::Engine& engine_;
   NetworkParams params_;
   sim::Rng rng_;
-  std::function<void(int, int)> nic_activity_;
+  sim::InlineFunction<void(int, int)> nic_activity_;
   std::vector<Port> egress_;
   std::vector<Port> ingress_;
   std::vector<std::unique_ptr<sim::Event>> links_;  // signaled = link up

@@ -67,14 +67,17 @@ void AcpiBattery::start_polling() {
   if (polling_) return;
   polling_ = true;
   reported_mwh_ = quantize(true_remaining_mwh());
-  next_tick_ = engine_.schedule_in(initial_phase_, [this] { refresh_tick(); });
+  // First refresh after the random phase, then strictly every refresh
+  // period: one pooled wheel timer for the whole polling lifetime.
+  next_tick_ =
+      engine_.schedule_every(initial_phase_, refresh_period_, [this] { refresh_tick(); });
 }
 
 void AcpiBattery::stop_polling() {
   if (!polling_) return;
   polling_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 void AcpiBattery::refresh_tick() {
@@ -93,7 +96,6 @@ void AcpiBattery::refresh_tick() {
     depleted_at_ = engine_.now();
     if (on_depleted_) on_depleted_();
   }
-  next_tick_ = engine_.schedule_in(refresh_period_, [this] { refresh_tick(); });
 }
 
 void AcpiBattery::attach_telemetry(telemetry::Hub* hub, int node_id) {
@@ -112,14 +114,15 @@ void BaytechStrip::start_polling() {
   window_start_ = engine_.now();
   joules_at_window_start_.clear();
   for (auto* node : outlets_) joules_at_window_start_.push_back(node->energy_joules());
-  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
+  next_tick_ =
+      engine_.schedule_every(sim::from_seconds(params_.window_s), [this] { tick(); });
 }
 
 void BaytechStrip::stop_polling() {
   if (!polling_) return;
   polling_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 void BaytechStrip::tick() {
@@ -130,8 +133,7 @@ void BaytechStrip::tick() {
       joules_at_window_start_[i] = outlets_[i]->energy_joules();
     }
     window_start_ = engine_.now();
-    next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
-    return;
+    return;  // the periodic schedule keeps the window cadence
   }
   BaytechRecord rec;
   rec.window_end = engine_.now();
@@ -145,7 +147,6 @@ void BaytechStrip::tick() {
   records_.push_back(std::move(rec));
   if (windows_ != nullptr) windows_->inc();
   window_start_ = engine_.now();
-  next_tick_ = engine_.schedule_in(sim::from_seconds(params_.window_s), [this] { tick(); });
 }
 
 void BaytechStrip::attach_telemetry(telemetry::Hub* hub) {

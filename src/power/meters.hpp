@@ -11,11 +11,11 @@
 // error of the paper's methodology is part of the model.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "power/node_power.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "telemetry/hub.hpp"
@@ -74,7 +74,7 @@ class AcpiBattery {
   void fail_capacity(double remaining_fraction);
   /// Invoked once when a refresh tick finds the pack empty while on DC
   /// (the node browns out); re-armed by recharge_full().
-  void set_depleted(std::function<void()> cb) { on_depleted_ = std::move(cb); }
+  void set_depleted(sim::InlineFunction<void()> cb) { on_depleted_ = std::move(cb); }
   std::optional<sim::SimTime> depleted_at() const { return depleted_at_; }
 
   const AcpiBatteryParams& params() const { return params_; }
@@ -102,11 +102,11 @@ class AcpiBattery {
   double reported_mwh_;
 
   bool polling_ = false;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
   telemetry::Counter* refreshes_ = nullptr;
 
   SensorFault sensor_fault_ = SensorFault::None;
-  std::function<void()> on_depleted_;
+  sim::InlineFunction<void()> on_depleted_;
   std::optional<sim::SimTime> depleted_at_;
 };
 
@@ -160,7 +160,7 @@ class BaytechStrip {
   std::vector<BaytechRecord> records_;
   bool polling_ = false;
   bool dropout_ = false;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
   telemetry::Counter* windows_ = nullptr;
 };
 

@@ -18,14 +18,14 @@ void ThermalModel::start() {
   last_sample_ = engine_.now();
   weighted_sum_c_ = 0;
   peak_c_ = temp_c_;
-  next_tick_ = engine_.schedule_in(sample_interval_, [this] { tick(); });
+  next_tick_ = engine_.schedule_every(sample_interval_, [this] { tick(); });
 }
 
 void ThermalModel::stop() {
   if (!running_) return;
   running_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 double ThermalModel::mean_c() const {
@@ -45,7 +45,6 @@ void ThermalModel::tick() {
   temp_c_ = new_temp;
   peak_c_ = std::max(peak_c_, temp_c_);
   last_sample_ = engine_.now();
-  next_tick_ = engine_.schedule_in(sample_interval_, [this] { tick(); });
 }
 
 }  // namespace pcd::power

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cmath>
-#include <optional>
 
 #include "power/node_power.hpp"
 #include "sim/engine.hpp"
@@ -67,7 +66,7 @@ class ThermalModel {
   sim::SimDuration sample_interval_;
 
   bool running_ = false;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
   double temp_c_;
   double peak_c_;
   double weighted_sum_c_ = 0;  // integral of T dt

@@ -1,33 +1,52 @@
 // Deterministic discrete-event engine.
 //
-// The engine owns a priority queue of (time, sequence) events; sequence
-// numbers break ties so that events scheduled for the same instant run in
-// FIFO order.  All model code — CPU executors, the network, MPI processes,
-// the CPUSPEED daemon — advances exclusively through this queue.
+// The engine dispatches events in (time, sequence) order; sequence numbers
+// break ties so that events scheduled for the same instant run in FIFO
+// order.  All model code — CPU executors, the network, MPI processes, the
+// CPUSPEED daemon — advances exclusively through this engine.
+//
+// Internals (DESIGN.md §3.10): event state lives in a chunked slab of
+// pooled nodes addressed by generation-tagged EventIds — schedule and
+// cancel never touch a hash map, and the steady state is allocation-free
+// (callbacks are stored in an InlineFunction small buffer, cancelled slots
+// are recycled through a free list, dead heap entries are lazily skipped
+// at pop).  Node addresses are stable for the life of the engine, so a
+// callback is invoked in place — it is never moved out of its node.
+// One-shot ordering uses a 4-ary min-heap of 24-byte (time, seq, slot)
+// entries; strictly periodic events (schedule_every) bypass the heap
+// entirely: they park in a hierarchical timer wheel and re-arm in place
+// after every fire.
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace pcd::sim {
 
 /// Handle to a scheduled event; can be used to cancel it before it fires.
+/// A default-constructed id is never a live event (`valid()` is false and
+/// `Engine::cancel` rejects it explicitly).  The generation tag makes ids
+/// single-use: once the event fires or is cancelled, the slot's generation
+/// advances and stale ids can no longer cancel an unrelated newer event.
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+
+  bool valid() const { return gen != 0; }
   friend bool operator==(EventId, EventId) = default;
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -40,21 +59,37 @@ class Engine {
   /// Schedules `cb` at now() + dt (dt must be >= 0).
   EventId schedule_in(SimDuration dt, Callback cb);
 
-  /// Cancels a pending event.  Returns false if it already ran or was
-  /// already cancelled.
+  /// Schedules `cb` to fire at now() + first_delay and then every `period`
+  /// after the previous fire, until cancelled.  Each occurrence draws a
+  /// fresh sequence number when the previous one completes, so a periodic
+  /// event interleaves with one-shot events exactly as if the callback
+  /// rescheduled itself with schedule_in as its last statement — but the
+  /// steady state never touches the heap or the binary event heap.
+  EventId schedule_every(SimDuration first_delay, SimDuration period, Callback cb);
+  EventId schedule_every(SimDuration period, Callback cb) {
+    return schedule_every(period, period, std::move(cb));
+  }
+
+  /// Cancels a pending event.  Returns false for an invalid id, or if the
+  /// event already ran or was already cancelled.  Cancelling a periodic
+  /// event — including from inside its own callback — stops the recurrence
+  /// and returns true.
   bool cancel(EventId id);
 
-  /// Runs until the queue drains (or `max_events` have been processed).
-  /// Returns the number of events processed.  Rethrows the first exception
-  /// that escaped a top-level coroutine with no joiner.
+  /// Runs until no live events remain (or `max_events` have been
+  /// processed).  Returns the number of events processed.  Rethrows the
+  /// first exception that escaped a top-level coroutine with no joiner.
   std::size_t run(std::size_t max_events = std::numeric_limits<std::size_t>::max());
 
-  /// Runs events with time <= t, then advances now() to t.
+  /// Runs events with time <= t, then advances now() to t.  If an event
+  /// callback throws (or an orphaned coroutine exception is rethrown), the
+  /// clock stays at the last dispatched event's time rather than jumping
+  /// to t.
   std::size_t run_until(SimTime t);
 
   SimTime now() const { return now_; }
-  bool empty() const { return pq_.empty(); }
-  std::size_t pending_events() const { return callbacks_.size(); }
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
   std::size_t events_processed() const { return processed_; }
 
   /// Records an exception that escaped a detached coroutine.  The next call
@@ -62,10 +97,14 @@ class Engine {
   void post_orphan_exception(std::exception_ptr ex);
 
   /// Coroutine frame registry: frames register on spawn and unregister on
-  /// completion; ~Engine destroys any still-suspended frames (in reverse
-  /// spawn order) so blocked processes never leak.
-  void register_frame(std::coroutine_handle<> h);
-  void unregister_frame(std::coroutine_handle<> h);
+  /// completion (O(1) slot free, no scan); ~Engine destroys any
+  /// still-suspended frames in reverse spawn order so blocked processes
+  /// never leak.  `detach` (optional) is invoked on the handle just before
+  /// the engine destroys the frame, so external owners can drop their
+  /// references first.
+  using FrameDetachFn = void (*)(std::coroutine_handle<>);
+  std::uint32_t register_frame(std::coroutine_handle<> h, FrameDetachFn detach = nullptr);
+  void unregister_frame(std::uint32_t frame_slot);
 
   /// Destroys all still-suspended frames now rather than in ~Engine.  Call
   /// this before tearing down model objects the frames' locals reference:
@@ -74,20 +113,120 @@ class Engine {
   void destroy_suspended_frames();
 
  private:
-  struct QueueEntry {
-    SimTime t;
-    std::uint64_t seq;
-    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
+  friend struct EngineTestAccess;  // white-box tests (generation wrap)
+
+  // ---- pooled event nodes ----
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  enum NodeFlags : std::uint8_t {
+    kArmed = 1,   // the EventId is live (cancellable)
+    kFiring = 2,  // periodic event currently running its callback
   };
 
-  void throw_pending();
-  bool step();  // runs one event; returns false if queue empty
+  struct EventNode {
+    SimTime t = 0;
+    std::uint64_t seq = 0;
+    SimDuration period = 0;       // > 0: periodic, parked in the wheel
+    std::uint32_t gen = 0;        // matches EventId.gen while armed
+    std::uint32_t next = kNil;    // free list / wheel bucket chain
+    std::uint32_t prev = kNil;    // wheel bucket back link (O(1) unlink)
+    std::uint16_t bucket = 0;     // wheel bucket index (level*kWheelSlots+slot)
+    std::uint8_t flags = 0;
+    Callback cb;
+  };
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::vector<std::coroutine_handle<>> live_frames_;
+  // Heap entry for one-shot events.  Dead entries (generation mismatch
+  // after a cancel) are skipped lazily at pop.  The heap is 4-ary: half the
+  // depth of a binary heap, and all four children of a node share one or
+  // two cache lines, which roughly halves the sift-down cost that dominates
+  // event dispatch.
+  struct HeapEntry {
+    SimTime t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  // ---- hierarchical timer wheel (periodic events) ----
+  //
+  // kWheelLevels levels of kWheelSlots slots; level l buckets time by
+  // 2^(kWheelShift + l*kWheelSlotBits) ns (level 0 ≈ 1 ms).  A timer is
+  // parked in the lowest level whose slot distance from now fits, so its
+  // bucket index never wraps ambiguously; timers beyond the top horizon
+  // (~4.9 h) go to an overflow bucket.  There is no cascading: dispatch
+  // needs only the wheel *minimum*, which is recomputed lazily from the
+  // per-level occupancy bitmaps plus a scan of one short bucket per level
+  // (exact, because bucket lists store full (t, seq) keys).
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kWheelSlotBits = 6;
+  static constexpr int kWheelSlots = 1 << kWheelSlotBits;  // 64
+  static constexpr int kWheelShift = 20;                   // level-0 slot ≈ 1.05 ms
+  static constexpr std::uint16_t kOverflowBucket =
+      static_cast<std::uint16_t>(kWheelLevels * kWheelSlots);
+
+  struct WheelLevel {
+    std::uint64_t occupied = 0;  // bit per slot with a non-empty bucket
+    std::array<std::uint32_t, kWheelSlots> head;
+    WheelLevel() { head.fill(kNil); }
+  };
+
+  // Nodes live in fixed-size chunks: addresses never move (so callbacks run
+  // in place even if the callback allocates more events), and growing the
+  // pool never relocates existing nodes.
+  static constexpr std::uint32_t kChunkBits = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;  // 256 nodes
+
+  EventNode& node(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  void bucket_insert(std::uint32_t slot);
+  void bucket_unlink(std::uint32_t slot);
+  std::uint32_t wheel_min();  // kNil if no periodic events are parked
+  void prune_heap();          // pops cancelled entries off the heap top
+  void prune_run();           // skips cancelled entries at the run front
+  void heap_push(const HeapEntry& e);
+  void heap_pop();
+
+  void throw_pending();
+  bool step();  // runs one event; returns false if no live events remain
+  void dispatch_oneshot(HeapEntry e);
+  void dispatch_wheel(std::uint32_t slot);
+  bool next_event_time(SimTime* out);
+
+  // One-shot events split between two containers (ladder-queue style).
+  // Simulations overwhelmingly schedule in near-monotone time order, so an
+  // event no earlier than the newest run entry appends to `run_` — a sorted
+  // FIFO popped from the front in O(1) with perfectly sequential memory
+  // traffic.  Out-of-order arrivals fall back to the 4-ary min-heap.
+  // Dispatch always takes the global (t, seq) minimum of run front, heap
+  // top, and wheel min, so the split never affects event order.
+  std::vector<HeapEntry> run_;   // monotone (t, seq)-ascending run
+  std::size_t run_head_ = 0;     // first unconsumed run entry
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap ordered by (t, seq)
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::uint32_t slab_size_ = 0;  // slots handed out so far (free or armed)
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_events_ = 0;
+
+  std::array<WheelLevel, kWheelLevels> wheel_;
+  std::uint32_t overflow_head_ = kNil;
+  std::size_t wheel_count_ = 0;
+  std::uint32_t wheel_min_ = kNil;  // cached; kNil + wheel_count_>0 = dirty
+
+  struct FrameSlot {
+    std::coroutine_handle<> h;
+    FrameDetachFn detach = nullptr;
+    std::uint64_t ticket = 0;   // spawn order, for deterministic teardown
+    std::uint32_t next_free = kNil;
+  };
+  std::vector<FrameSlot> frames_;
+  std::uint32_t frame_free_head_ = kNil;
+  std::uint64_t next_frame_ticket_ = 0;
+
   std::vector<std::exception_ptr> orphan_exceptions_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;

@@ -71,13 +71,14 @@ class [[nodiscard]] Op {
     if (h_) h_.destroy();
   }
 
-  bool done() const { return h_ && h_.done(); }
+  bool done() const noexcept { return h_ && h_.done(); }
 
   struct Awaiter {
     std::coroutine_handle<promise_type> h;
-    bool await_ready() const { return false; }
+    bool await_ready() const noexcept { return false; }
     template <typename ParentPromise>
-    std::coroutine_handle<> await_suspend(std::coroutine_handle<ParentPromise> parent) {
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<ParentPromise> parent) noexcept {
       h.promise().continuation = parent;
       h.promise().engine_ptr = parent.promise().engine();
       assert(h.promise().engine_ptr != nullptr);
@@ -115,13 +116,14 @@ class [[nodiscard]] Op<void> {
     if (h_) h_.destroy();
   }
 
-  bool done() const { return h_ && h_.done(); }
+  bool done() const noexcept { return h_ && h_.done(); }
 
   struct Awaiter {
     std::coroutine_handle<promise_type> h;
-    bool await_ready() const { return false; }
+    bool await_ready() const noexcept { return false; }
     template <typename ParentPromise>
-    std::coroutine_handle<> await_suspend(std::coroutine_handle<ParentPromise> parent) {
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<ParentPromise> parent) noexcept {
       h.promise().continuation = parent;
       h.promise().engine_ptr = parent.promise().engine();
       assert(h.promise().engine_ptr != nullptr);

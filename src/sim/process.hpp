@@ -9,10 +9,14 @@
 //   sim::spawn(engine, rank_main(node, ...));
 //
 // Lifetime model: the coroutine frame is owned by the engine from spawn()
-// until completion (it self-destroys at final suspend).  Process itself is a
-// cheap shared handle to the completion state, so it can be copied, joined
-// (`co_await proc`), or dropped freely.  Frames still suspended when the
-// engine is destroyed are cleaned up by ~Engine.
+// until completion (it self-destroys at final suspend).  Process is a
+// move-only handle linked to the frame by a back-pointer in the promise:
+// completion copies the done flag and any exception into the handle, so the
+// common fire-and-forget spawn allocates nothing beyond the frame itself —
+// the shared_ptr control block of the old design exists only if someone
+// calls watch().  Frames still suspended when the engine is destroyed are
+// cleaned up by ~Engine (the back-pointer is detached first, so dropped or
+// held handles never dangle).
 #pragma once
 
 #include <cassert>
@@ -31,39 +35,51 @@ namespace pcd::sim {
 
 class Process {
  public:
+  /// Snapshot view handed out by watch(); allocated lazily on first use.
   struct State {
-    Engine* engine = nullptr;
-    bool started = false;
     bool done = false;
     std::exception_ptr exception;
-    std::vector<std::coroutine_handle<>> waiters;
   };
 
   struct promise_type {
-    std::shared_ptr<State> state = std::make_shared<State>();
+    Engine* engine_ptr = nullptr;
+    Process* owner = nullptr;  // the live handle, if any (kept current on move)
+    std::shared_ptr<State> shared;  // created only by watch()
+    std::exception_ptr exception;
+    std::vector<std::coroutine_handle<>> waiters;
+    std::uint32_t frame_slot = 0;
 
-    Engine* engine() const { return state->engine; }
+    Engine* engine() const { return engine_ptr; }
 
     Process get_return_object() {
-      return Process(std::coroutine_handle<promise_type>::from_promise(*this), state);
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
     }
     std::suspend_always initial_suspend() noexcept { return {}; }
 
     struct FinalAwaiter {
       bool await_ready() noexcept { return false; }
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
-        // Mark completion, wake joiners through the engine queue (preserving
-        // FIFO ordering at the current timestamp), then self-destroy.
-        auto st = h.promise().state;
-        st->done = true;
-        Engine* engine = st->engine;
-        auto waiters = std::move(st->waiters);
-        st->waiters.clear();
-        if (engine != nullptr) engine->unregister_frame(h);
+        // Publish completion into the owning handle and any watch() state,
+        // wake joiners through the engine queue (preserving FIFO ordering at
+        // the current timestamp), then self-destroy.
+        promise_type& p = h.promise();
+        Engine* engine = p.engine_ptr;
+        std::exception_ptr ex = p.exception;
+        auto waiters = std::move(p.waiters);
+        if (p.owner != nullptr) {
+          p.owner->done_ = true;
+          p.owner->exception_ = ex;
+          p.owner->handle_ = nullptr;
+        }
+        if (p.shared) {
+          p.shared->done = true;
+          p.shared->exception = ex;
+        }
+        if (engine != nullptr) engine->unregister_frame(p.frame_slot);
         h.destroy();
         if (engine == nullptr) return;
-        if (st->exception && waiters.empty()) {
-          engine->post_orphan_exception(st->exception);
+        if (ex && waiters.empty()) {
+          engine->post_orphan_exception(ex);
         }
         for (auto w : waiters) {
           engine->schedule_in(0, [w] { w.resume(); });
@@ -73,68 +89,108 @@ class Process {
     };
     FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() {}
-    void unhandled_exception() { state->exception = std::current_exception(); }
+    void unhandled_exception() { exception = std::current_exception(); }
   };
 
   Process(Process&& other) noexcept
-      : handle_(std::exchange(other.handle_, nullptr)), state_(std::move(other.state_)) {}
+      : handle_(std::exchange(other.handle_, nullptr)),
+        started_(other.started_),
+        done_(other.done_),
+        exception_(std::move(other.exception_)) {
+    if (handle_) handle_.promise().owner = this;
+  }
   Process& operator=(Process&& other) noexcept {
     if (this != &other) {
-      destroy_if_unstarted();
+      release();
       handle_ = std::exchange(other.handle_, nullptr);
-      state_ = std::move(other.state_);
+      started_ = other.started_;
+      done_ = other.done_;
+      exception_ = std::move(other.exception_);
+      if (handle_) handle_.promise().owner = this;
     }
     return *this;
   }
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
-  ~Process() { destroy_if_unstarted(); }
+  ~Process() { release(); }
 
-  bool done() const { return state_->done; }
-  bool started() const { return state_->started; }
-  bool failed() const { return state_->exception != nullptr; }
+  bool done() const { return done_; }
+  bool started() const { return started_; }
+  bool failed() const { return exception_ != nullptr; }
 
   /// Joins the process: suspends until it completes; rethrows its exception.
+  /// The Process handle must outlive the join (it is where completion lands).
   auto operator co_await() const {
     struct Awaiter {
-      std::shared_ptr<State> st;
-      bool await_ready() const { return st->done; }
-      void await_suspend(std::coroutine_handle<> h) { st->waiters.push_back(h); }
+      const Process* p;
+      bool await_ready() const { return p->done_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        p->handle_.promise().waiters.push_back(h);
+      }
       void await_resume() const {
-        if (st->exception) std::rethrow_exception(st->exception);
+        if (p->exception_) std::rethrow_exception(p->exception_);
       }
     };
-    return Awaiter{state_};
+    return Awaiter{this};
   }
 
-  /// A copyable join handle (e.g. to hand to several watchers).
-  std::shared_ptr<const State> watch() const { return state_; }
+  /// A copyable completion handle (e.g. to hand to several watchers).  This
+  /// is the only path that materializes shared state.
+  std::shared_ptr<const State> watch() const {
+    if (handle_) {
+      promise_type& p = handle_.promise();
+      if (!p.shared) p.shared = std::make_shared<State>();
+      return p.shared;
+    }
+    auto st = std::make_shared<State>();
+    st->done = done_;
+    st->exception = exception_;
+    return st;
+  }
 
  private:
   friend Process spawn(Engine& engine, Process proc);
 
-  Process(std::coroutine_handle<promise_type> h, std::shared_ptr<State> st)
-      : handle_(h), state_(std::move(st)) {}
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {
+    handle_.promise().owner = this;
+  }
 
-  void destroy_if_unstarted() {
-    if (handle_ && !state_->started) handle_.destroy();
+  void release() {
+    if (!handle_) return;
+    if (!started_) {
+      handle_.destroy();  // never spawned: the handle still owns the frame
+    } else {
+      handle_.promise().owner = nullptr;  // fire-and-forget: frame lives on
+    }
     handle_ = nullptr;
   }
 
+  // Engine teardown notifier: the frame is about to be destroyed with its
+  // owner handle still live, so the handle must forget it first.
+  static void detach_frame(std::coroutine_handle<> raw) {
+    auto h = std::coroutine_handle<promise_type>::from_address(raw.address());
+    promise_type& p = h.promise();
+    if (p.owner != nullptr) {
+      p.owner->handle_ = nullptr;
+      p.owner = nullptr;
+    }
+  }
+
   std::coroutine_handle<promise_type> handle_;
-  std::shared_ptr<State> state_;
+  bool started_ = false;
+  bool done_ = false;
+  std::exception_ptr exception_;
 };
 
 /// Launches a process: the coroutine body starts running at the engine's
 /// current time (as a queued event, so spawn order = run order).  Returns a
 /// handle usable for joining; the handle may be dropped for fire-and-forget.
 inline Process spawn(Engine& engine, Process proc) {
-  assert(!proc.state_->started && "process already spawned");
-  proc.state_->engine = &engine;
-  proc.state_->started = true;
+  assert(proc.handle_ && !proc.started_ && "process already spawned");
   auto h = proc.handle_;
-  proc.handle_ = nullptr;  // ownership passes to the engine
-  engine.register_frame(h);
+  h.promise().engine_ptr = &engine;
+  h.promise().frame_slot = engine.register_frame(h, &Process::detach_frame);
+  proc.started_ = true;
   engine.schedule_in(0, [h] { h.resume(); });
   return proc;
 }

@@ -29,14 +29,14 @@ void TimeSeriesSampler::start() {
   last_tick_ = engine_.now();
   for (int i = 0; i < nodes(); ++i) last_busy_ns_[i] = probe_(i).busy_weighted_ns;
   next_tick_ =
-      engine_.schedule_in(sim::from_seconds(params_.period_s), [this] { tick(); });
+      engine_.schedule_every(sim::from_seconds(params_.period_s), [this] { tick(); });
 }
 
 void TimeSeriesSampler::stop() {
   if (!running_) return;
   running_ = false;
-  if (next_tick_) engine_.cancel(*next_tick_);
-  next_tick_.reset();
+  engine_.cancel(next_tick_);
+  next_tick_ = {};
 }
 
 void TimeSeriesSampler::tick() {
@@ -66,8 +66,6 @@ void TimeSeriesSampler::tick() {
     series_[i].push(std::move(s));
   }
   last_tick_ = now;
-  next_tick_ =
-      engine_.schedule_in(sim::from_seconds(params_.period_s), [this] { tick(); });
 }
 
 }  // namespace pcd::telemetry

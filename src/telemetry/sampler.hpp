@@ -8,10 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -88,7 +87,7 @@ struct SamplerParams {
 
 class TimeSeriesSampler {
  public:
-  using Probe = std::function<NodeProbe(int node)>;
+  using Probe = sim::InlineFunction<NodeProbe(int node)>;
 
   /// `registry` is optional; when given, each tick also refreshes the
   /// per-node gauges node_power_watts / node_freq_mhz / node_utilization.
@@ -124,7 +123,7 @@ class TimeSeriesSampler {
   sim::SimTime last_tick_ = 0;
   bool running_ = false;
   std::int64_t ticks_ = 0;
-  std::optional<sim::EventId> next_tick_;
+  sim::EventId next_tick_;  // persistent periodic timer; invalid when stopped
 };
 
 }  // namespace pcd::telemetry

@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event engine and coroutine process layer.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -127,6 +129,274 @@ TEST(Engine, MaxEventsBound) {
   EXPECT_EQ(count, 4);
   e.run();
   EXPECT_EQ(count, 10);
+}
+
+// --- EventId validity and cancellation semantics --------------------------
+
+TEST(Engine, DefaultEventIdIsInvalidAndRejected) {
+  sim::Engine e;
+  sim::EventId none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_FALSE(e.cancel(none));
+  auto id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(id.valid());
+  EXPECT_NE(id, none);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(sim::EventId{}));  // still rejected after activity
+  e.run();
+}
+
+TEST(Engine, CancelOwnIdInsideCallbackReturnsFalse) {
+  // By the time a one-shot callback runs, its id has already been retired.
+  sim::Engine e;
+  sim::EventId id;
+  bool cancel_result = true;
+  id = e.schedule_at(10, [&] { cancel_result = e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(Engine, CancelOtherEventFromCallback) {
+  sim::Engine e;
+  bool ran = false;
+  auto victim = e.schedule_at(20, [&] { ran = true; });
+  e.schedule_at(10, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.now(), 10);  // the cancelled event never advanced the clock
+}
+
+TEST(Engine, PendingEventsTracksLiveEvents) {
+  sim::Engine e;
+  EXPECT_TRUE(e.empty());
+  auto a = e.schedule_at(10, [] {});
+  e.schedule_at(20, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+// --- run_until exception semantics ----------------------------------------
+
+TEST(Engine, RunUntilClockStaysAtThrowingEventTime) {
+  sim::Engine e;
+  e.schedule_at(5, [] {});
+  e.schedule_at(10, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(e.run_until(100), std::runtime_error);
+  // The clock must not jump ahead to the run_until() boundary.
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, RunUntilClockStaysAtOrphanExceptionTime) {
+  sim::Engine e;
+  auto thrower = [](sim::SimDuration dt) -> sim::Process {
+    co_await sim::delay(dt);
+    throw std::runtime_error("boom");
+  };
+  sim::spawn(e, thrower(10));
+  EXPECT_THROW(e.run_until(100), std::runtime_error);
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, RunUntilIgnoresCancelledEntriesAtBoundary) {
+  // A cancelled entry inside the window must not cause dispatch of a live
+  // event beyond the boundary.
+  sim::Engine e;
+  bool late_ran = false;
+  auto inside = e.schedule_at(10, [] {});
+  e.schedule_at(100, [&] { late_ran = true; });
+  EXPECT_TRUE(e.cancel(inside));
+  EXPECT_EQ(e.run_until(50), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(e.now(), 50);
+  e.run();
+  EXPECT_TRUE(late_ran);
+  EXPECT_EQ(e.now(), 100);
+}
+
+// --- periodic events (schedule_every) -------------------------------------
+
+TEST(Engine, ScheduleEveryFiresAtFixedCadence) {
+  sim::Engine e;
+  std::vector<sim::SimTime> times;
+  auto id = e.schedule_every(10, [&] { times.push_back(e.now()); });
+  EXPECT_EQ(e.pending_events(), 1u);  // armed recurrence counts once
+  e.run_until(55);
+  EXPECT_EQ(times, (std::vector<sim::SimTime>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(e.pending_events(), 1u);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, ScheduleEveryFirstDelayDiffersFromPeriod) {
+  sim::Engine e;
+  std::vector<sim::SimTime> times;
+  auto id = e.schedule_every(5, 10, [&] { times.push_back(e.now()); });
+  e.run_until(30);
+  EXPECT_EQ(times, (std::vector<sim::SimTime>{5, 15, 25}));
+  EXPECT_TRUE(e.cancel(id));
+}
+
+TEST(Engine, ScheduleEveryRejectsNonPositivePeriod) {
+  sim::Engine e;
+  EXPECT_THROW(e.schedule_every(0, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_every(5, -1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, ScheduleEveryInterleavesFifoWithOneShots) {
+  // A periodic event must interleave with one-shots exactly as if its
+  // callback rescheduled itself with a trailing schedule_in: each occurrence
+  // draws its sequence number when the previous one completes.
+  sim::Engine e;
+  std::vector<std::string> order;
+  auto id = e.schedule_every(10, [&] { order.push_back("P"); });  // seq drawn 1st
+  e.schedule_at(10, [&] { order.push_back("A"); });               // seq drawn 2nd
+  e.schedule_at(20, [&] { order.push_back("B"); });               // seq drawn 3rd
+  e.run_until(20);
+  // t=10: P (earlier seq) then A.  t=20: B precedes the re-armed P, whose
+  // sequence number was drawn only after the t=10 occurrence finished.
+  EXPECT_EQ(order, (std::vector<std::string>{"P", "A", "B", "P"}));
+  EXPECT_TRUE(e.cancel(id));
+}
+
+TEST(Engine, CancelPeriodicFromOwnCallbackStopsRecurrence) {
+  sim::Engine e;
+  int count = 0;
+  sim::EventId id;
+  id = e.schedule_every(10, [&] {
+    if (++count == 3) EXPECT_TRUE(e.cancel(id));  // mid-fire cancel succeeds
+  });
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.cancel(id));  // already cancelled
+}
+
+TEST(Engine, CancelPeriodicBetweenFires) {
+  sim::Engine e;
+  int count = 0;
+  auto id = e.schedule_every(10, [&] { ++count; });
+  e.run_until(25);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // double-cancel reports failure
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, PeriodicCallbackExceptionStopsRecurrence) {
+  sim::Engine e;
+  int count = 0;
+  e.schedule_every(10, [&] {
+    if (++count == 2) throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, ScheduleEverySpansWheelLevelsAndOverflow) {
+  // Periods exercising different wheel levels: ~1 ms (level 0/1), 1 s
+  // (level 1/2), 5 min (level 3), and 6 h (beyond the wheel horizon, parked
+  // in the overflow bucket).  All must fire at exact multiples.
+  sim::Engine e;
+  const sim::SimDuration kMs = sim::from_millis(1.0);
+  const sim::SimDuration kS = sim::from_seconds(1.0);
+  std::vector<sim::SimTime> ms_times, s_times, min5_times, h6_times;
+  auto ms_id = e.schedule_every(kMs, [&] { ms_times.push_back(e.now()); });
+  auto s_id = e.schedule_every(kS, [&] { s_times.push_back(e.now()); });
+  e.schedule_every(300 * kS, [&] { min5_times.push_back(e.now()); });
+  e.schedule_every(6 * 3600 * kS, [&] { h6_times.push_back(e.now()); });
+  e.run_until(sim::from_seconds(3.5));
+  EXPECT_EQ(ms_times.size(), 3500u);
+  EXPECT_EQ(ms_times.front(), kMs);
+  EXPECT_EQ(ms_times.back(), 3500 * kMs);
+  EXPECT_EQ(s_times, (std::vector<sim::SimTime>{kS, 2 * kS, 3 * kS}));
+  EXPECT_TRUE(min5_times.empty());
+  EXPECT_TRUE(e.cancel(ms_id));  // drop the fast timers before the long leap
+  EXPECT_TRUE(e.cancel(s_id));
+  e.run_until(sim::from_seconds(13.0 * 3600));
+  EXPECT_EQ(min5_times.size(), 13u * 3600 / 300);
+  EXPECT_EQ(min5_times.front(), 300 * kS);
+  EXPECT_EQ(h6_times, (std::vector<sim::SimTime>{6 * 3600 * kS, 12 * 3600 * kS}));
+}
+
+// --- generation wrap (white-box) ------------------------------------------
+
+namespace pcd::sim {
+
+struct EngineTestAccess {
+  static std::uint32_t slot_gen(Engine& e, std::uint32_t slot) {
+    return e.node(slot).gen;
+  }
+  static void force_slot_gen(Engine& e, std::uint32_t slot, std::uint32_t gen) {
+    e.node(slot).gen = gen;
+  }
+};
+
+}  // namespace pcd::sim
+
+TEST(Engine, EventIdStaysSafeAcrossGenerationWrap) {
+  sim::Engine e;
+  // Age the slot so the pre-wrap id's generation is not 1 (the value the
+  // wrap skips to), then drive the generation counter to the wrap point.
+  e.schedule_at(1, [] {});
+  e.run();
+  auto id0 = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id0));  // frees the slot, bumps its generation
+  sim::EngineTestAccess::force_slot_gen(e, id0.slot, 0xffffffffu);
+  auto id1 = e.schedule_at(10, [] {});
+  ASSERT_EQ(id1.slot, id0.slot);  // free list reuses the slot
+  EXPECT_EQ(id1.gen, 0xffffffffu);
+  EXPECT_TRUE(e.cancel(id1));  // generation wraps past 0 (reserved) to 1
+  EXPECT_EQ(sim::EngineTestAccess::slot_gen(e, id0.slot), 1u);
+  auto id2 = e.schedule_at(10, [] {});
+  ASSERT_EQ(id2.slot, id0.slot);
+  EXPECT_EQ(id2.gen, 1u);
+  EXPECT_FALSE(e.cancel(id0));  // stale pre-wrap ids cannot touch the event
+  EXPECT_FALSE(e.cancel(id1));
+  EXPECT_TRUE(e.cancel(id2));
+  e.run();
+}
+
+// --- InlineFunction --------------------------------------------------------
+
+TEST(InlineFunction, AcceptsMoveOnlyCallables) {
+  auto p = std::make_unique<int>(7);
+  sim::InlineFunction<int()> f = [q = std::move(p)] { return *q; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 7);
+  auto g = std::move(f);
+  EXPECT_EQ(g(), 7);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(InlineFunction, HeapFallbackForOversizedCaptures) {
+  std::array<std::int64_t, 16> big{};  // 128 bytes: exceeds the inline buffer
+  big[15] = 42;
+  sim::InlineFunction<std::int64_t()> f = [big] { return big[15]; };
+  EXPECT_EQ(f(), 42);
+  auto g = std::move(f);  // heap target: ownership transfer, no copy
+  EXPECT_EQ(g(), 42);
+  g.reset();
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, MoveAssignReplacesTarget) {
+  int a = 0, b = 0;
+  sim::InlineFunction<void()> f = [&a] { ++a; };
+  sim::InlineFunction<void()> g = [&b] { ++b; };
+  f();
+  f = std::move(g);
+  f();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
 }
 
 // --- Coroutine processes -------------------------------------------------

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail if engine microbenchmark throughput regressed vs the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CANDIDATE.json
+        [--prefix BM_EngineScheduleRun] [--max-regress 0.20]
+
+Both files are google-benchmark --benchmark_out JSON.  For every benchmark in
+the baseline whose name starts with --prefix, the candidate must reach at
+least (1 - max_regress) x the baseline's items_per_second.  Benchmarks
+missing from the candidate fail loudly: a silently dropped benchmark would
+otherwise read as "no regression".
+
+Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) so --benchmark_repetitions
+        # output compares repetition medians only once, via run_name.
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b.get("name"))
+        if "items_per_second" in b:
+            out[name] = float(b["items_per_second"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--prefix", default="BM_EngineScheduleRun")
+    ap.add_argument("--max-regress", type=float, default=0.20)
+    args = ap.parse_args()
+
+    base = load_items_per_second(args.baseline)
+    cand = load_items_per_second(args.candidate)
+
+    checked = 0
+    failed = False
+    for name, base_ips in sorted(base.items()):
+        if not name.startswith(args.prefix):
+            continue
+        checked += 1
+        if name not in cand:
+            print(f"FAIL {name}: missing from candidate run")
+            failed = True
+            continue
+        floor = base_ips * (1.0 - args.max_regress)
+        ratio = cand[name] / base_ips
+        status = "FAIL" if cand[name] < floor else "ok"
+        print(
+            f"{status:4} {name}: {cand[name] / 1e6:.2f}M/s vs baseline "
+            f"{base_ips / 1e6:.2f}M/s ({ratio:.2f}x, floor {floor / 1e6:.2f}M/s)"
+        )
+        if cand[name] < floor:
+            failed = True
+
+    if checked == 0:
+        print(f"error: no baseline benchmarks match prefix {args.prefix!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
