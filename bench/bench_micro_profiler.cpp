@@ -1,0 +1,67 @@
+// google-benchmark overhead gates for the profiler: the same end-to-end
+// CG run at four observability levels.
+//
+//   ProfilerOff   plain run, no tracer at all
+//   TraceOnly     MPE-style trace collection (pre-existing subsystem)
+//   ProfilerOn    trace + energy attribution: the probe samples every
+//                 scope, records carry joules/cycles, messages are logged
+//                 — but the post-run DAG analysis is skipped
+//   ProfilerFull  everything: collection + capture + attribution rollup +
+//                 cross-rank critical path / slack
+//
+// CI gates (tools/check_bench_regression.py --candidate-prefix):
+//   - enabling attribution on a traced run (TraceOnly -> ProfilerOn) must
+//     cost <= 5%: the energy probe is the only in-run addition and must
+//     stay in the noise so profiled runs remain trustworthy;
+//   - the full pipeline (ProfilerOff -> ProfilerFull) is backstopped at
+//     50%: the batch analysis is proportional to trace size (~0.3 us per
+//     record) and is run once per profile, but a regression that doubles
+//     it should still fail loudly.
+#include <benchmark/benchmark.h>
+
+#include "apps/npb.hpp"
+#include "core/runner.hpp"
+
+using namespace pcd;
+
+namespace {
+
+void run_case(benchmark::State& state, bool trace, bool profile, bool analysis) {
+  for (auto _ : state) {
+    auto cg = apps::make_cg(0.05);
+    core::RunConfig cfg;
+    cfg.collect_trace = trace;
+    cfg.profile = profile;
+    cfg.profile_analysis = analysis;
+    const auto r = core::run_workload(cg, cfg);
+    benchmark::DoNotOptimize(r.energy_j);
+    if (r.profiler.has_value()) {
+      benchmark::DoNotOptimize(r.profiler->attribution.scoped_j);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+static void BM_WorkloadRun_ProfilerOff(benchmark::State& state) {
+  run_case(state, false, false, false);
+}
+BENCHMARK(BM_WorkloadRun_ProfilerOff)->Unit(benchmark::kMillisecond);
+
+static void BM_WorkloadRun_TraceOnly(benchmark::State& state) {
+  run_case(state, true, false, false);
+}
+BENCHMARK(BM_WorkloadRun_TraceOnly)->Unit(benchmark::kMillisecond);
+
+static void BM_WorkloadRun_ProfilerOn(benchmark::State& state) {
+  run_case(state, false, true, false);
+}
+BENCHMARK(BM_WorkloadRun_ProfilerOn)->Unit(benchmark::kMillisecond);
+
+static void BM_WorkloadRun_ProfilerFull(benchmark::State& state) {
+  run_case(state, false, true, true);
+}
+BENCHMARK(BM_WorkloadRun_ProfilerFull)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+#include "analysis/advisor_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "trace/profile.hpp"
+
+namespace pcd::analysis {
+
+namespace {
+
+std::string fmt_int(long long v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string advisor_report_text(const profiler::ProfileResult& prof,
+                                const profiler::InternalSchedule& schedule,
+                                std::size_t top_labels) {
+  const auto& run = prof.run;
+  const auto& attr = prof.attribution;
+  const auto& slack = prof.slack;
+  std::string out;
+
+  out += heading("profile");
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "ranks=%d  profiled at %d MHz  makespan=%.4f s  "
+                "measured delay=%.4f s  measured energy=%.1f J "
+                "(scoped %.1f J, %.1f%%)\n",
+                run.ranks(), run.profile_mhz, run.makespan_s(),
+                run.measured_delay_s, run.measured_energy_j, attr.scoped_j,
+                run.measured_energy_j > 0
+                    ? 100.0 * attr.scoped_j / run.measured_energy_j
+                    : 0.0);
+  out += line;
+
+  out += heading("energy attribution (per rank)");
+  TextTable ranks({"rank", "scoped(s)", "energy(J)", "cycles(G)", "wait+coll(J)",
+                   "critical(s)", "elastic(s)"});
+  for (std::size_t r = 0; r < attr.ranks.size(); ++r) {
+    const auto& ra = attr.ranks[r];
+    const double idle_j = ra.at(trace::Cat::Wait).joules +
+                          ra.at(trace::Cat::Collective).joules;
+    ranks.add_row({fmt_int(static_cast<long long>(r)), fmt(ra.seconds, 3),
+                   fmt(ra.joules, 1), fmt(ra.cycles / 1e9, 2), fmt(idle_j, 1),
+                   fmt(slack.rank_critical_s[r], 3), fmt(slack.rank_elastic_s[r], 3)});
+  }
+  out += ranks.str();
+
+  out += heading("energy attribution (top labels)");
+  TextTable labels({"label", "cat", "count", "seconds", "energy(J)", "cpu(J)",
+                    "cycles(G)", "max-rank(s)"});
+  for (std::size_t i = 0; i < std::min(top_labels, attr.labels.size()); ++i) {
+    const auto& l = attr.labels[i];
+    labels.add_row({l.label.empty() ? "(unlabeled)" : l.label,
+                    trace::to_string(l.cat), fmt_int(l.count), fmt(l.seconds, 3),
+                    fmt(l.joules, 1), fmt(l.cpu_joules, 1), fmt(l.cycles / 1e9, 2),
+                    fmt(l.max_rank_seconds, 3)});
+  }
+  out += labels.str();
+
+  out += heading("critical path");
+  std::snprintf(line, sizeof line, "critical seconds by category (eps=%.2g s):\n",
+                slack.critical_eps_s);
+  out += line;
+  for (std::size_t c = 0; c < slack.critical_by_cat_s.size(); ++c) {
+    if (slack.critical_by_cat_s[c] <= 0) continue;
+    std::snprintf(line, sizeof line, "  %-10s %10.4f s\n",
+                  trace::to_string(static_cast<trace::Cat>(c)),
+                  slack.critical_by_cat_s[c]);
+    out += line;
+  }
+
+  out += heading("derived schedule");
+  std::snprintf(line, sizeof line, "mode=%s", profiler::to_string(schedule.mode));
+  out += line;
+  switch (schedule.mode) {
+    case profiler::InternalSchedule::Mode::Phase:
+      std::snprintf(line, sizeof line, "  high=%d MHz  low=%d MHz  around \"%s\"",
+                    schedule.high_mhz, schedule.low_mhz,
+                    schedule.phase_label.c_str());
+      out += line;
+      break;
+    case profiler::InternalSchedule::Mode::PerRank:
+      out += "  rank speeds (MHz):";
+      for (int mhz : schedule.rank_mhz) out += ' ' + std::to_string(mhz);
+      break;
+    case profiler::InternalSchedule::Mode::None:
+      out += "  (no exploitable slack; run unchanged)";
+      break;
+  }
+  out += '\n';
+  std::snprintf(line, sizeof line,
+                "predicted delay factor=%.4f  predicted energy factor=%.4f\n",
+                schedule.predicted_delay_factor, schedule.predicted_energy_factor);
+  out += line;
+  if (!schedule.rationale.empty()) {
+    out += heading("rationale");
+    out += schedule.rationale;
+    if (out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+std::string advisor_report_csv(const profiler::ProfileResult& prof,
+                               const profiler::InternalSchedule& schedule) {
+  const auto& attr = prof.attribution;
+  const auto& slack = prof.slack;
+  std::string out = "section,key,seconds,energy_j,cpu_energy_j,cycles,count\n";
+  char line[256];
+  for (std::size_t r = 0; r < attr.ranks.size(); ++r) {
+    const auto& ra = attr.ranks[r];
+    std::snprintf(line, sizeof line, "rank,%zu,%.6f,%.6f,,%.0f,\n", r, ra.seconds,
+                  ra.joules, ra.cycles);
+    out += line;
+    std::snprintf(line, sizeof line, "rank_slack,%zu,%.6f,,,,\n", r,
+                  slack.rank_elastic_s[r]);
+    out += line;
+    std::snprintf(line, sizeof line, "rank_critical,%zu,%.6f,,,,\n", r,
+                  slack.rank_critical_s[r]);
+    out += line;
+  }
+  for (const auto& l : attr.labels) {
+    std::snprintf(line, sizeof line, "label,%s,%.6f,%.6f,%.6f,%.0f,%d\n",
+                  l.label.empty() ? "(unlabeled)" : l.label.c_str(), l.seconds,
+                  l.joules, l.cpu_joules, l.cycles, l.count);
+    out += line;
+  }
+  out += "schedule,mode=";
+  out += profiler::to_string(schedule.mode);
+  out += ",,,,,\n";
+  if (schedule.mode == profiler::InternalSchedule::Mode::Phase) {
+    std::snprintf(line, sizeof line, "schedule,high_mhz=%d,,,,,\n", schedule.high_mhz);
+    out += line;
+    std::snprintf(line, sizeof line, "schedule,low_mhz=%d,,,,,\n", schedule.low_mhz);
+    out += line;
+    out += "schedule,phase_label=" + schedule.phase_label + ",,,,,\n";
+  }
+  for (std::size_t r = 0; r < schedule.rank_mhz.size(); ++r) {
+    std::snprintf(line, sizeof line, "schedule,rank%zu_mhz=%d,,,,,\n", r,
+                  schedule.rank_mhz[r]);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "schedule,predicted_delay_factor=%.6f,,,,,\n",
+                schedule.predicted_delay_factor);
+  out += line;
+  std::snprintf(line, sizeof line, "schedule,predicted_energy_factor=%.6f,,,,,\n",
+                schedule.predicted_energy_factor);
+  out += line;
+  return out;
+}
+
+}  // namespace pcd::analysis

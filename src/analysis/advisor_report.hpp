@@ -1,0 +1,24 @@
+// Renders the profiler's attribution / critical-path / advisor output as
+// the text report an operator reads and the CSV a plotting script ingests.
+#pragma once
+
+#include <string>
+
+#include "profiler/profiler.hpp"
+
+namespace pcd::analysis {
+
+/// Full advisor report: per-rank energy attribution, top labels by energy,
+/// critical-path and slack summary, the derived schedule with its
+/// rationale, and predicted energy/delay factors vs. the measured profile
+/// run.  `top_labels` caps the label table.
+std::string advisor_report_text(const profiler::ProfileResult& prof,
+                                const profiler::InternalSchedule& schedule,
+                                std::size_t top_labels = 10);
+
+/// Machine-readable companion: one `section,key,...` row per fact, covering
+/// rank attribution, label attribution, slack, and the schedule.
+std::string advisor_report_csv(const profiler::ProfileResult& prof,
+                               const profiler::InternalSchedule& schedule);
+
+}  // namespace pcd::analysis

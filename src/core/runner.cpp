@@ -86,6 +86,20 @@ sim::Process progress_watchdog(sim::Engine& engine, machine::Cluster& cluster,
   }
 }
 
+// Energy probe behind scope attribution: a pure read of the exact node
+// energy integrator and the CPU's retired-cycle counter.  Both accessors
+// accrue lazily but never mutate simulation-visible state, so sampling on
+// every scope boundary keeps the run bit-identical.
+struct ClusterProbe final : trace::Tracer::Probe {
+  explicit ClusterProbe(machine::Cluster& c) : cluster(&c) {}
+  machine::Cluster* cluster;
+  trace::Tracer::EnergySample sample(int rank) override {
+    auto& node = cluster->node(rank);
+    const auto e = node.power().energy_breakdown();
+    return {e.total(), e.cpu, node.cpu().retired_sensitive_cycles()};
+  }
+};
+
 }  // namespace
 
 std::string describe(const std::vector<ConfigIssue>& issues) {
@@ -274,8 +288,13 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   }
 
   std::unique_ptr<trace::Tracer> tracer;
-  if (config.collect_trace) {
+  std::optional<ClusterProbe> probe;
+  if (config.collect_trace || config.profile) {
     tracer = std::make_unique<trace::Tracer>(engine, workload.ranks);
+    if (config.profile) {
+      probe.emplace(cluster);
+      tracer->set_probe(&*probe);
+    }
   }
 
   // The sampler only *reads* cluster state, so enabling it cannot perturb
@@ -412,11 +431,40 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
     result.timeline = trace::render_timeline(*tracer);
   }
 
+  if (config.profile && config.profile_analysis && tracer) {
+    const auto& table = cluster.node(0).cpu().table();
+    const int profile_mhz =
+        config.static_mhz != 0 ? config.static_mhz : table.highest().freq_mhz;
+    result.profiler = profiler::profile(*tracer, table, profile_mhz, result.delay_s,
+                                        result.energy_j);
+  }
+
   if (hub != nullptr) {
     auto& reg = hub->registry();
+    reg.set_help("run_delay_seconds", "Wall time from launch to last rank completion");
+    reg.set_help("run_energy_joules", "Exact total system energy over the run window");
+    reg.set_help("mpi_messages_total", "Point-to-point MPI messages delivered");
     reg.gauge("run_delay_seconds").set(result.delay_s);
     reg.gauge("run_energy_joules").set(result.energy_j);
     reg.counter("mpi_messages_total").inc(static_cast<double>(result.messages));
+    if (result.profiler.has_value()) {
+      reg.set_help("profiler_scope_energy_joules",
+                   "Node energy attributed to trace scopes, per rank and category");
+      reg.set_help("profiler_scope_seconds",
+                   "Time attributed to trace scopes, per rank and category");
+      const auto& attr = result.profiler->attribution;
+      for (std::size_t r = 0; r < attr.ranks.size(); ++r) {
+        for (int c = 0; c < 6; ++c) {
+          const auto& cat = attr.ranks[r].by_cat[static_cast<std::size_t>(c)];
+          if (cat.count == 0) continue;
+          const telemetry::Labels labels = {
+              {"rank", std::to_string(r)},
+              {"category", trace::to_string(static_cast<trace::Cat>(c))}};
+          reg.counter("profiler_scope_energy_joules", labels).inc(cat.joules);
+          reg.counter("profiler_scope_seconds", labels).inc(cat.seconds);
+        }
+      }
+    }
     auto snap = telemetry::make_snapshot(*hub, sampler.get());
     snap.chrome_trace_json = telemetry::to_chrome_json(snap, tracer.get());
     result.telemetry = std::move(snap);

@@ -20,6 +20,7 @@
 #include "fault/plan.hpp"
 #include "fault/report.hpp"
 #include "machine/cluster.hpp"
+#include "profiler/profiler.hpp"
 #include "telemetry/options.hpp"
 #include "telemetry/snapshot.hpp"
 #include "trace/profile.hpp"
@@ -55,6 +56,22 @@ struct RunConfig {
 
   /// Collect an MPE-style trace and attach the profile to the result.
   bool collect_trace = false;
+
+  /// Energy-attribution profiling: implies trace collection, attaches the
+  /// energy probe to every scope, and fills RunResult::profiler with the
+  /// attribution + cross-rank slack analysis (ready for profiler::advise).
+  /// Pure observation — delay/energy/transitions are bit-identical to the
+  /// unprofiled run.
+  bool profile = false;
+
+  /// With `profile`: also run the post-run batch analysis (scope capture,
+  /// energy aggregation, cross-rank critical path) and fill
+  /// RunResult::profiler.  Turn off to collect energy-annotated traces with
+  /// collection-only overhead — every Record still carries joules/cycles and
+  /// the flat RankProfile still reports per-rank energy, but the DAG pass is
+  /// skipped and RunResult::profiler stays empty.  The overhead benchmark
+  /// uses this split to gate the in-run cost separately from the analysis.
+  bool profile_analysis = true;
 
   /// Telemetry layer: metrics registry, DVS decision log, time-series
   /// sampler; the result then carries a TelemetrySnapshot with Chrome
@@ -97,6 +114,9 @@ struct RunResult {
   double mean_utilization = 0;
   std::optional<trace::TraceProfile> profile;
   std::string timeline;  // rendered trace, if collected
+  /// Energy attribution + slack analysis (when RunConfig::profile is set);
+  /// feed to profiler::advise() to derive an INTERNAL schedule.
+  std::optional<profiler::ProfileResult> profiler;
   /// Everything the telemetry layer collected (when enabled): registry
   /// snapshot, decision log, completed transitions, sampler series, and a
   /// ready-rendered Chrome trace-event JSON.
@@ -134,6 +154,11 @@ class RunConfigBuilder {
   RunConfigBuilder& predictor(PhasePredictorParams p) { cfg_.predictor = p; return *this; }
   RunConfigBuilder& hooks(apps::DvsHooks h) { cfg_.hooks = std::move(h); return *this; }
   RunConfigBuilder& collect_trace(bool on = true) { cfg_.collect_trace = on; return *this; }
+  RunConfigBuilder& profile(bool on = true) { cfg_.profile = on; return *this; }
+  RunConfigBuilder& profile_analysis(bool on = true) {
+    cfg_.profile_analysis = on;
+    return *this;
+  }
   RunConfigBuilder& telemetry(telemetry::TelemetryOptions t) { cfg_.telemetry = std::move(t); return *this; }
   RunConfigBuilder& use_meters(bool on = true) { cfg_.use_meters = on; return *this; }
   RunConfigBuilder& faults(fault::FaultPlan plan) { cfg_.faults = std::move(plan); return *this; }

@@ -111,6 +111,23 @@ std::vector<int> select_per_rank_speeds(const trace::TraceProfile& profile,
   return speeds;
 }
 
+apps::DvsHooks hooks_for(const profiler::InternalSchedule& schedule) {
+  switch (schedule.mode) {
+    case profiler::InternalSchedule::Mode::Phase:
+      return internal_phase_hooks(schedule.high_mhz, schedule.low_mhz);
+    case profiler::InternalSchedule::Mode::PerRank:
+      return internal_rank_speed_hooks([speeds = schedule.rank_mhz](int rank) {
+        // Defensive modulo: a schedule derived from an N-rank profile may be
+        // applied to a run with a different rank count.
+        return speeds.empty() ? 0
+                              : speeds[static_cast<std::size_t>(rank) % speeds.size()];
+      });
+    case profiler::InternalSchedule::Mode::None:
+      break;
+  }
+  return {};
+}
+
 apps::DvsHooks internal_wait_scaling_hooks(int high_mhz, int low_mhz) {
   apps::DvsHooks h;
   h.at_start = [high_mhz](mpi::Comm& comm, int rank) {

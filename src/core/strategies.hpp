@@ -13,6 +13,7 @@
 #include "apps/workload.hpp"
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
+#include "profiler/profiler.hpp"
 
 namespace pcd::core {
 
@@ -66,5 +67,11 @@ apps::DvsHooks internal_wait_scaling_hooks(int high_mhz, int low_mhz);
 std::vector<int> select_per_rank_speeds(const trace::TraceProfile& profile,
                                         const cpu::OperatingPointTable& table,
                                         double usable_slack = 0.5);
+
+/// Closes the profile -> schedule loop: turn an advisor-derived
+/// InternalSchedule into the DvsHooks the paper's hand insertions would
+/// have produced (Phase -> internal_phase_hooks; PerRank ->
+/// internal_rank_speed_hooks; None -> empty hooks, run unchanged).
+apps::DvsHooks hooks_for(const profiler::InternalSchedule& schedule);
 
 }  // namespace pcd::core

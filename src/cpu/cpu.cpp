@@ -247,6 +247,9 @@ void Cpu::set_efficiency(double eff) {
   eff = std::clamp(eff, 0.01, 1.0);
   if (eff == efficiency_) return;
   pause_segment();
+  // Close the accounting interval at the old retirement rate; the busy and
+  // residency views are rate-independent, but retired cycles are not.
+  touch_accounting();
   efficiency_ = eff;
   if (active_.has_value() && !transitioning_ && !halted()) start_segment();
 }
@@ -268,6 +271,11 @@ void Cpu::touch_accounting() {
   if (dt > 0) {
     busy_weighted_accum_ns_ += static_cast<double>(dt) * busy_weight(state_);
     stats_.op_residency_ns[op_index_] += dt;
+    if (state_ == CpuState::OnChip || state_ == CpuState::CommProc) {
+      // ns * MHz * 1e-3 = cycles; stragglers retire at eff * f.
+      retired_cycles_accum_ += static_cast<double>(dt) *
+                               table_.at(op_index_).freq_mhz * efficiency_ * 1e-3;
+    }
   }
   last_touch_ = now;
 }
@@ -322,6 +330,15 @@ double Cpu::mem_activity() const {
 double Cpu::busy_weighted_ns() const {
   const sim::SimDuration dt = engine_.now() - last_touch_;
   return busy_weighted_accum_ns_ + static_cast<double>(dt) * busy_weight(state_);
+}
+
+double Cpu::retired_sensitive_cycles() const {
+  double cycles = retired_cycles_accum_;
+  if (state_ == CpuState::OnChip || state_ == CpuState::CommProc) {
+    const sim::SimDuration dt = engine_.now() - last_touch_;
+    cycles += static_cast<double>(dt) * table_.at(op_index_).freq_mhz * efficiency_ * 1e-3;
+  }
+  return cycles;
 }
 
 }  // namespace pcd::cpu

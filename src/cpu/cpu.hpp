@@ -211,6 +211,12 @@ class Cpu {
   /// CPUSPEED daemon differentiates over its polling interval.
   double busy_weighted_ns() const;
 
+  /// Frequency-sensitive cycles retired so far (OnChip + CommProc states,
+  /// at eff * f).  Differencing this across a trace scope tells the energy
+  /// profiler how much of the scope stretches under DVS — memory stalls and
+  /// wait-poll time do not retire cycles and keep their wall-clock duration.
+  double retired_sensitive_cycles() const;
+
   const CpuStats& stats() const { return stats_; }
 
   /// Registered observer, invoked immediately *before* every state or
@@ -278,6 +284,7 @@ class Cpu {
   // accounting
   sim::SimTime last_touch_ = 0;
   double busy_weighted_accum_ns_ = 0;
+  double retired_cycles_accum_ = 0;
   CpuStats stats_;
   sim::InlineFunction<void()> listener_;
   telemetry::Hub* telemetry_ = nullptr;

@@ -56,7 +56,11 @@ void CheckpointService::end_checkpoint() {
   last_checkpoint_ = engine_.now();
   ++count_;
   if (report_ != nullptr) ++report_->checkpoints;
-  if (hub_ != nullptr) hub_->registry().counter("checkpoints_total").inc();
+  if (hub_ != nullptr) {
+    hub_->registry().set_help("checkpoints_total",
+                              "Coordinated checkpoints completed by the service");
+    hub_->registry().counter("checkpoints_total").inc();
+  }
   if (running_) {
     next_event_ = engine_.schedule_in(sim::from_seconds(interval_s_),
                                       [this] { begin_checkpoint(); });

@@ -45,6 +45,10 @@ double Comm::speed_ratio(int rank) {
 
 sim::Process Comm::send_proc(int rank, int dst, int tag, std::int64_t bytes,
                              Request req) {
+  // The send's causal anchor is the isend call instant (spawn runs the body
+  // up to the first co_await synchronously).
+  const std::int64_t log_seq =
+      tracer_ != nullptr ? tracer_->log_send(rank, dst, tag, bytes) : -1;
   auto& cpu = node(rank).cpu();
   co_await cpu.run_commproc_cycles(protocol_cycles(bytes));
 
@@ -52,6 +56,7 @@ sim::Process Comm::send_proc(int rank, int dst, int tag, std::int64_t bytes,
   msg->src = rank;
   msg->tag = tag;
   msg->bytes = bytes;
+  msg->log_seq = log_seq;
 
   // Announce to the receiver: match a posted receive or queue as unexpected.
   Mailbox& mb = mailboxes_.at(dst);
@@ -75,6 +80,7 @@ sim::Process Comm::send_proc(int rank, int dst, int tag, std::int64_t bytes,
   co_await cluster_.network().transfer(node_ids_[rank], node_ids_[dst], bytes,
                                        speed_ratio(rank));
   msg->delivered.set();
+  if (tracer_ != nullptr) tracer_->log_delivered(log_seq);
   ++stats_.messages;
   stats_.bytes += bytes;
   req->bytes = bytes;
@@ -105,6 +111,7 @@ sim::Process Comm::recv_proc(int rank, int src, int tag, Request req) {
   co_await msg->delivered.wait();
   // Receive-side copy / protocol processing.
   co_await node(rank).cpu().run_commproc_cycles(protocol_cycles(msg->bytes));
+  if (tracer_ != nullptr) tracer_->log_recv_done(msg->log_seq);
   req->bytes = msg->bytes;
   req->done.set();
 }
@@ -156,6 +163,7 @@ sim::Op<std::int64_t> Comm::recv(int rank, int src, int tag) {
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Recv, "mpi_recv", src));
   auto req = irecv(rank, src, tag);
   co_await wait_inner(rank, req);
+  if (sc) sc->set_bytes(req->bytes);  // size known only once the send matched
   co_return req->bytes;
 }
 

@@ -111,6 +111,7 @@ class Comm {
     int src = 0;
     int tag = 0;
     std::int64_t bytes = 0;
+    std::int64_t log_seq = -1;  // index into the tracer's message log
     sim::Event recv_posted;
     sim::Event delivered;
   };

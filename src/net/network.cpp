@@ -44,6 +44,10 @@ void Network::attach_telemetry(telemetry::Hub* hub) {
     return;
   }
   auto& reg = hub->registry();
+  reg.set_help("net_transfers_total", "Point-to-point wire transfers completed");
+  reg.set_help("net_bytes_total", "Payload bytes carried over the network");
+  reg.set_help("net_collisions_total", "Transfers that hit a busy port and backed off");
+  reg.set_help("net_backoff_seconds_total", "Simulated seconds spent in collision backoff");
   m_transfers_ = &reg.counter("net_transfers_total");
   m_bytes_ = &reg.counter("net_bytes_total");
   m_collisions_ = &reg.counter("net_collisions_total");

@@ -99,9 +99,14 @@ void AcpiBattery::refresh_tick() {
 }
 
 void AcpiBattery::attach_telemetry(telemetry::Hub* hub, int node_id) {
-  refreshes_ = hub == nullptr ? nullptr
-                              : &hub->registry().counter("acpi_refreshes_total",
-                                                         telemetry::label("node", node_id));
+  if (hub == nullptr) {
+    refreshes_ = nullptr;
+    return;
+  }
+  hub->registry().set_help("acpi_refreshes_total",
+                           "ACPI battery state refreshes served by the sensor model");
+  refreshes_ = &hub->registry().counter("acpi_refreshes_total",
+                                        telemetry::label("node", node_id));
 }
 
 BaytechStrip::BaytechStrip(sim::Engine& engine, std::vector<NodePowerModel*> outlets,
@@ -150,8 +155,13 @@ void BaytechStrip::tick() {
 }
 
 void BaytechStrip::attach_telemetry(telemetry::Hub* hub) {
-  windows_ = hub == nullptr ? nullptr
-                            : &hub->registry().counter("baytech_windows_total");
+  if (hub == nullptr) {
+    windows_ = nullptr;
+    return;
+  }
+  hub->registry().set_help("baytech_windows_total",
+                           "Completed Baytech power-strip averaging windows");
+  windows_ = &hub->registry().counter("baytech_windows_total");
 }
 
 double BaytechStrip::estimate_energy_joules(sim::SimTime t0, sim::SimTime t1) const {

@@ -51,11 +51,33 @@ std::string prom_series(const std::string& name, const Labels& labels,
 
 }  // namespace
 
+namespace {
+
+// HELP text escaping per the exposition format: only backslash and
+// newline (label values additionally escape double quotes, see escape()).
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string to_prometheus(const std::vector<MetricSample>& samples) {
   std::string out;
   const std::string* last_family = nullptr;
   for (const auto& s : samples) {
     if (last_family == nullptr || *last_family != s.name) {
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + ' ' + escape_help(s.help) + '\n';
+      }
       out += "# TYPE " + s.name + ' ' + to_string(s.type) + '\n';
       last_family = &s.name;
     }
@@ -99,15 +121,41 @@ std::string to_chrome_json(const TelemetrySnapshot& snapshot,
         const char* name = (r.label != nullptr && r.label[0] != '\0')
                                ? r.label
                                : trace::to_string(r.cat);
+        std::string args = "{\"peer\":" + std::to_string(r.peer) +
+                           ",\"bytes\":" + std::to_string(r.bytes);
+        if (r.energy_j != 0 || r.cycles != 0) {
+          // Energy-annotated slice (the profiler's attribution probe ran).
+          args += ",\"energy_j\":" + fmt_value(r.energy_j) +
+                  ",\"cpu_energy_j\":" + fmt_value(r.cpu_energy_j) +
+                  ",\"cycles\":" + fmt_value(r.cycles);
+        }
+        args += '}';
         std::snprintf(buf, sizeof buf,
                       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                      "\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
-                      "\"args\":{\"peer\":%d,\"bytes\":%lld}}",
+                      "\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":%s}",
                       escape(name).c_str(), trace::to_string(r.cat), us(r.begin),
-                      us(r.end - r.begin), rank, r.peer,
-                      static_cast<long long>(r.bytes));
+                      us(r.end - r.begin), rank, args.c_str());
         events.push_back({us(r.begin), buf});
       }
+    }
+    // Message edges as Perfetto flow events: an arrow from the send instant
+    // on the source rank to the receive completion on the destination rank.
+    std::int64_t id = 0;
+    for (const auto& m : tracer->messages()) {
+      ++id;
+      if (!m.complete()) continue;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"msg\",\"cat\":\"mpi_msg\",\"ph\":\"s\","
+                    "\"id\":%lld,\"ts\":%.3f,\"pid\":0,\"tid\":%d,"
+                    "\"args\":{\"bytes\":%lld,\"tag\":%d}}",
+                    static_cast<long long>(id), us(m.t_send), m.src,
+                    static_cast<long long>(m.bytes), m.tag);
+      events.push_back({us(m.t_send), buf});
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"msg\",\"cat\":\"mpi_msg\",\"ph\":\"f\",\"bp\":\"e\","
+                    "\"id\":%lld,\"ts\":%.3f,\"pid\":0,\"tid\":%d}",
+                    static_cast<long long>(id), us(m.t_recv_done), m.dst);
+      events.push_back({us(m.t_recv_done), buf});
     }
   }
 

@@ -27,7 +27,14 @@ struct DvsTransition {
 
 class Hub {
  public:
-  Hub() = default;
+  Hub() {
+    registry_.set_help("dvs_decisions_total",
+                       "DVS frequency requests recorded by the policy layer, by cause");
+    registry_.set_help("dvs_transitions_total",
+                       "Completed DVS mode transitions observed at the CPU, by node");
+    registry_.set_help("fault_events_total",
+                       "Fault lifecycle events (inject/detect/recover), by phase");
+  }
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 

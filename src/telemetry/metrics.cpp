@@ -102,6 +102,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
   return *it->second;
 }
 
+const std::string& MetricsRegistry::help(const std::string& name) const {
+  static const std::string kEmpty;
+  const auto it = help_.find(name);
+  return it != help_.end() ? it->second : kEmpty;
+}
+
 std::vector<MetricSample> MetricsRegistry::samples() const {
   std::vector<MetricSample> out;
   for (const auto& [name, f] : families_) {
@@ -109,6 +115,7 @@ std::vector<MetricSample> MetricsRegistry::samples() const {
       MetricSample s;
       s.name = name;
       s.type = f.type;
+      s.help = help(name);
       s.labels = f.label_sets.at(key);
       return s;
     };

@@ -70,6 +70,7 @@ struct MetricSample {
   std::string name;
   Labels labels;
   MetricType type = MetricType::Counter;
+  std::string help;  // family help text ("" = none registered)
   double value = 0;  // counter/gauge value; histogram sum
   // Histogram-only payload (empty otherwise).
   std::vector<double> bucket_bounds;
@@ -91,6 +92,14 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, Labels labels,
                        std::vector<double> upper_bounds);
 
+  /// Registers the family's help text (Prometheus `# HELP`).  Idempotent;
+  /// may be called before or after the first instrument of the family.
+  void set_help(const std::string& name, std::string help) {
+    help_[name] = std::move(help);
+  }
+  /// The registered help text for a family ("" = none).
+  const std::string& help(const std::string& name) const;
+
   /// Flattened snapshot of every instrument, families sorted by name and
   /// series sorted by label string — the exporters' input.
   std::vector<MetricSample> samples() const;
@@ -110,6 +119,7 @@ class MetricsRegistry {
   Family& family(const std::string& name, MetricType type);
 
   std::map<std::string, Family> families_;
+  std::map<std::string, std::string> help_;
 };
 
 /// Canonical `k="v",k2="v2"` form of a label set (sorted by key).

@@ -15,6 +15,9 @@ TimeSeriesSampler::TimeSeriesSampler(sim::Engine& engine, int nodes,
   series_.reserve(nodes);
   for (int i = 0; i < nodes; ++i) series_.emplace_back(params_.capacity);
   if (registry_ != nullptr) {
+    registry_->set_help("node_power_watts", "Instantaneous node power draw");
+    registry_->set_help("node_freq_mhz", "CPU operating frequency at the last sample");
+    registry_->set_help("node_utilization", "Busy fraction of the CPU over the sample period");
     for (int i = 0; i < nodes; ++i) {
       g_power_.push_back(&registry_->gauge("node_power_watts", label("node", i)));
       g_freq_.push_back(&registry_->gauge("node_freq_mhz", label("node", i)));

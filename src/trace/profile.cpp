@@ -62,11 +62,12 @@ TraceProfile analyze(const Tracer& tracer) {
     RankProfile& rp = p.ranks[rank];
     for (const Record& rec : tracer.records(rank)) {
       const double dur = sim::to_seconds(rec.end - rec.begin);
+      rp.energy_j += rec.energy_j;
       switch (rec.cat) {
         case Cat::Compute: rp.compute_s += dur; break;
         case Cat::MemStall: rp.memstall_s += dur; break;
         case Cat::Send: rp.send_s += dur; ++rp.sends; rp.bytes_sent += rec.bytes; break;
-        case Cat::Recv: rp.recv_s += dur; ++rp.recvs; break;
+        case Cat::Recv: rp.recv_s += dur; ++rp.recvs; rp.bytes_received += rec.bytes; break;
         case Cat::Wait: rp.wait_s += dur; ++rp.waits; break;
         case Cat::Collective: rp.collective_s += dur; ++rp.collectives; break;
       }
@@ -145,16 +146,18 @@ std::string render_profile(const TraceProfile& p) {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof line,
-                "%-5s %10s %10s %10s %10s %10s %8s %8s %9s\n", "rank", "comp(s)",
-                "mem(s)", "send(s)", "recv(s)", "wait(s)", "coll(s)", "#msgs",
-                "comm/comp");
+                "%-5s %10s %10s %10s %10s %10s %8s %8s %11s %11s %9s\n", "rank",
+                "comp(s)", "mem(s)", "send(s)", "recv(s)", "wait(s)", "coll(s)",
+                "#msgs", "sent(B)", "recv(B)", "comm/comp");
   out += line;
   for (std::size_t i = 0; i < p.ranks.size(); ++i) {
     const RankProfile& r = p.ranks[i];
     std::snprintf(line, sizeof line,
-                  "%-5zu %10.2f %10.2f %10.2f %10.2f %10.2f %8.2f %8d %9.2f\n", i,
-                  r.compute_s, r.memstall_s, r.send_s, r.recv_s, r.wait_s,
-                  r.collective_s, r.sends + r.recvs, r.comm_to_comp());
+                  "%-5zu %10.2f %10.2f %10.2f %10.2f %10.2f %8.2f %8d %11lld %11lld %9.2f\n",
+                  i, r.compute_s, r.memstall_s, r.send_s, r.recv_s, r.wait_s,
+                  r.collective_s, r.sends + r.recvs,
+                  static_cast<long long>(r.bytes_sent),
+                  static_cast<long long>(r.bytes_received), r.comm_to_comp());
     out += line;
   }
   std::snprintf(line, sizeof line,

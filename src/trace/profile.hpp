@@ -21,6 +21,10 @@ struct RankProfile {
   int waits = 0;
   int collectives = 0;
   std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  // Attributed energy over the rank's scopes; zero unless the trace was
+  // collected with an energy probe attached (RunConfig::profile).
+  double energy_j = 0;
 
   double comp_s() const { return compute_s + memstall_s; }
   double comm_s() const { return send_s + recv_s + wait_s + collective_s; }

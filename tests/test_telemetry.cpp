@@ -3,7 +3,9 @@
 // trace-event / CSV exporters.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -418,6 +420,213 @@ TEST(RunnerTelemetry, TelemetryDoesNotPerturbTheRun) {
   EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
   EXPECT_EQ(a.dvs_transitions, b.dvs_transitions);
   EXPECT_EQ(a.net_collisions, b.net_collisions);
+}
+
+// ---- strict JSON validation of the Chrome/Perfetto export -------------------
+
+namespace {
+
+// Strict recursive-descent JSON parser (RFC 8259 subset, no extensions):
+// validates the whole grammar, not just brace balance.  Returns false on
+// the first violation and reports its position.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't': ++pos_; break;
+          case 'u': {
+            ++pos_;
+            for (int i = 0; i < 4; ++i, ++pos_) {
+              if (pos_ >= s_.size() || !std::isxdigit(
+                      static_cast<unsigned char>(s_[pos_]))) return false;
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') { ++pos_; }
+    else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TEST(Exporters, ProfiledRunChromeJsonParsesStrictly) {
+  core::RunConfig cfg;
+  cfg.seed = 7;
+  cfg.profile = true;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample = false;
+  const auto r = core::run_workload(apps::make_ft(0.1), cfg);
+  ASSERT_TRUE(r.telemetry.has_value());
+  const std::string& json = r.telemetry->chrome_trace_json;
+  ASSERT_FALSE(json.empty());
+
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.parse())
+      << "JSON violation near offset " << parser.error_pos() << ": ..."
+      << json.substr(parser.error_pos() > 40 ? parser.error_pos() - 40 : 0, 80);
+
+  // Profiled slices carry energy; message edges appear as flow events.
+  EXPECT_NE(json.find("\"energy_j\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(Exporters, PrometheusHelpAndLabelEscapingRoundTrip) {
+  telemetry::MetricsRegistry reg;
+  reg.set_help("odd_total", "counts \\ weird\nthings");
+  reg.counter("odd_total", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = telemetry::to_prometheus(reg);
+
+  // HELP escapes only backslash and newline.
+  EXPECT_NE(text.find("# HELP odd_total counts \\\\ weird\\nthings"),
+            std::string::npos);
+  // Label values escape backslash, double quote, and newline.
+  EXPECT_NE(text.find("odd_total{path=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos);
+
+  // Round-trip: unescape the emitted label value and recover the original.
+  const std::string needle = "path=\"";
+  const auto start = text.find(needle) + needle.size();
+  const auto quote_end = text.find("\"}", start);
+  const std::string escaped = text.substr(start, quote_end - start);
+  std::string unescaped;
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      ++i;
+      unescaped += escaped[i] == 'n' ? '\n' : escaped[i];
+    } else {
+      unescaped += escaped[i];
+    }
+  }
+  EXPECT_EQ(unescaped, "a\\b\"c\nd");
+}
+
+TEST(Exporters, RunnerRegistersHelpForRunMetrics) {
+  core::RunConfig cfg;
+  cfg.seed = 9;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample = false;
+  const auto r = core::run_workload(apps::make_ep(0.05), cfg);
+  ASSERT_TRUE(r.telemetry.has_value());
+  const std::string prom = telemetry::to_prometheus(r.telemetry->metrics);
+  EXPECT_NE(prom.find("# HELP run_delay_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP run_energy_joules"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP mpi_messages_total"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP net_bytes_total"), std::string::npos);
 }
 
 TEST(RunnerTelemetry, RunSummaryRendersTables) {

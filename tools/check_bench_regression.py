@@ -4,12 +4,19 @@
 Usage:
     check_bench_regression.py BASELINE.json CANDIDATE.json
         [--prefix BM_EngineScheduleRun] [--max-regress 0.20]
+        [--candidate-prefix BM_...]
 
 Both files are google-benchmark --benchmark_out JSON.  For every benchmark in
 the baseline whose name starts with --prefix, the candidate must reach at
 least (1 - max_regress) x the baseline's items_per_second.  Benchmarks
 missing from the candidate fail loudly: a silently dropped benchmark would
 otherwise read as "no regression".
+
+--candidate-prefix compares *differently named* benchmarks from the same
+run: the candidate counterpart of baseline "PREFIX<suffix>" is looked up as
+"CANDIDATE_PREFIX<suffix>".  This is how CI gates the profiler's overhead
+(BM_WorkloadRun_ProfilerOn vs BM_WorkloadRun_ProfilerOff, both from one
+bench_micro_profiler run passed as baseline and candidate).
 
 Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input.
 """
@@ -44,6 +51,9 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--prefix", default="BM_EngineScheduleRun")
     ap.add_argument("--max-regress", type=float, default=0.20)
+    ap.add_argument("--candidate-prefix", default=None,
+                    help="look up the candidate as this prefix + the "
+                         "baseline name's suffix (default: same name)")
     args = ap.parse_args()
 
     base = load_items_per_second(args.baseline)
@@ -55,18 +65,22 @@ def main():
         if not name.startswith(args.prefix):
             continue
         checked += 1
-        if name not in cand:
-            print(f"FAIL {name}: missing from candidate run")
+        cand_name = name
+        if args.candidate_prefix is not None:
+            cand_name = args.candidate_prefix + name[len(args.prefix):]
+        if cand_name not in cand:
+            print(f"FAIL {cand_name}: missing from candidate run")
             failed = True
             continue
         floor = base_ips * (1.0 - args.max_regress)
-        ratio = cand[name] / base_ips
-        status = "FAIL" if cand[name] < floor else "ok"
+        ratio = cand[cand_name] / base_ips
+        status = "FAIL" if cand[cand_name] < floor else "ok"
+        label = name if cand_name == name else f"{cand_name} vs {name}"
         print(
-            f"{status:4} {name}: {cand[name] / 1e6:.2f}M/s vs baseline "
+            f"{status:4} {label}: {cand[cand_name] / 1e6:.2f}M/s vs baseline "
             f"{base_ips / 1e6:.2f}M/s ({ratio:.2f}x, floor {floor / 1e6:.2f}M/s)"
         )
-        if cand[name] < floor:
+        if cand[cand_name] < floor:
             failed = True
 
     if checked == 0:
