@@ -31,6 +31,29 @@ static void BM_EngineScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
 
+static void BM_EngineScheduleRunDigest(benchmark::State& state) {
+  // Same hot loop with the determinism digest collecting: one rolling-hash
+  // fold per dispatch (the cheap tier).  CI gates the overhead vs
+  // BM_EngineScheduleRun at 3% (tools/check_bench_regression.py).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::DigestStream digest;
+    sim::Engine::DeterminismHooks hooks;
+    hooks.event_digest = &digest;
+    e.set_determinism(hooks);
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(i, [&count] { ++count; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(digest.hash);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRunDigest)->Arg(1024)->Arg(65536);
+
 static void BM_EnginePeriodicTimers(benchmark::State& state) {
   // Steady-state cost of pooled periodic timers (cpuspeed daemons, samplers,
   // battery polls): n wheel-parked timers re-arming in place, no heap churn.

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "analysis/report.hpp"
+#include "sim/provenance.hpp"
 
 namespace pcd::campaign {
 
@@ -68,6 +69,26 @@ CellResult aggregate_cell(std::vector<TrialRecord> trials) {
 
   cell.delay = Summary::of(delays);
   cell.energy = Summary::of(energies);
+
+  // Digest drill-down: fold the trials' run-digest roots in trial order.
+  // One trial without a digest poisons the cell (has_digest stays false)
+  // rather than silently fingerprinting a partial set.
+  if (!ok.empty()) {
+    sim::DigestStream roots;
+    bool all = true;
+    for (std::size_t t : ok) {
+      const auto& det = trials[t].result.determinism;
+      if (!det.has_value()) {
+        all = false;
+        break;
+      }
+      roots.fold(det->digest.root());
+    }
+    if (all) {
+      cell.digest_root = roots.hash;
+      cell.has_digest = true;
+    }
+  }
 
   if (ok.empty()) {
     cell.result.failed = true;
@@ -177,6 +198,18 @@ std::string CampaignResult::tsv() const {
 }
 
 std::uint64_t CampaignResult::fingerprint() const {
+  bool all_digests = !cells.empty();
+  for (const auto& c : cells) {
+    if (!c.has_digest) {
+      all_digests = false;
+      break;
+    }
+  }
+  if (all_digests) {
+    sim::DigestStream h;
+    for (const auto& c : cells) h.fold(c.digest_root);
+    return h.hash;
+  }
   const std::string s = tsv();
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char ch : s) {

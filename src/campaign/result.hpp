@@ -55,6 +55,13 @@ struct CellResult {
   core::RunResult result;
 
   Summary delay, energy;
+
+  /// Rolling FNV-1a fold of the trials' run-digest roots, in trial order.
+  /// Valid only when has_digest — i.e. every completed trial carried a
+  /// determinism digest (ExperimentSpec::collect_digests).
+  std::uint64_t digest_root = 0;
+  bool has_digest = false;
+
   int runs = 0;       // trials attempted
   int failures = 0;   // structured RunResult failures + thrown trials
   int thrown = 0;     // of those, trials that escaped with an exception
@@ -91,7 +98,12 @@ class CampaignResult {
   /// wall-clock or thread count): byte-identical across thread counts.
   std::string tsv() const;
 
-  /// FNV-1a of tsv(), for cheap determinism assertions.
+  /// Cheap determinism assertion.  When every cell carries a determinism
+  /// digest (collect_digests campaigns), this is the fold of the per-cell
+  /// digest roots — a mismatch drills down: fingerprint -> cell root ->
+  /// trial digest -> checkpoint interval -> event (tools/pcd_diff).
+  /// Otherwise it is the historical FNV-1a of tsv(), so digest-off
+  /// campaigns keep their fingerprint bit-for-bit.
   std::uint64_t fingerprint() const;
 };
 

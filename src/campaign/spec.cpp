@@ -102,6 +102,11 @@ ExperimentSpec& ExperimentSpec::trials(int n) {
   return *this;
 }
 
+ExperimentSpec& ExperimentSpec::collect_digests(bool on) {
+  collect_digests_ = on;
+  return *this;
+}
+
 std::size_t ExperimentSpec::cells() const {
   std::size_t n = workloads_.size();
   for (const auto& a : axes_) n *= a.values.size();
@@ -134,6 +139,7 @@ std::vector<CellPlan> ExperimentSpec::expand() const {
       cell.workload = w;
       cell.workload_label = workloads_[w].first;
       cell.config = base_;
+      if (collect_digests_) cell.config.determinism.digest = true;
       for (std::size_t i = 0; i < axes_.size(); ++i) {
         const AxisValue& v = axes_[i].values[at[i]];
         cell.labels.push_back(v.label);

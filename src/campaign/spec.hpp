@@ -106,12 +106,19 @@ class ExperimentSpec {
   /// historical run_trials derivation) and cells aggregate to the median.
   ExperimentSpec& trials(int n);
 
+  /// Collect a determinism digest (RunDigest) for every trial; cells then
+  /// carry a digest root and CampaignResult::fingerprint() becomes the fold
+  /// of those roots (drill-down to the diverging cell/trial).  Off by
+  /// default: digest-off campaigns keep the legacy tsv() fingerprint.
+  ExperimentSpec& collect_digests(bool on = true);
+
   const std::vector<std::pair<std::string, apps::Workload>>& workload_entries() const {
     return workloads_;
   }
   const core::RunConfig& base_config() const { return base_; }
   const std::vector<Axis>& axes() const { return axes_; }
   int trial_count() const { return trials_; }
+  bool digests() const { return collect_digests_; }
 
   std::size_t cells() const;
   std::size_t total_runs() const { return cells() * static_cast<std::size_t>(trials_); }
@@ -126,6 +133,7 @@ class ExperimentSpec {
   core::RunConfig base_;
   std::vector<Axis> axes_;
   int trials_ = 1;
+  bool collect_digests_ = false;
 };
 
 /// Seed derivation for repetition `trial` of a cell: identical to the

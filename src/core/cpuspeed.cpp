@@ -18,7 +18,8 @@ void CpuspeedDaemon::start() {
   // event per tick.
   next_tick_ =
       engine_.schedule_every(start_offset_ + sim::from_seconds(params_.interval_s),
-                             sim::from_seconds(params_.interval_s), [this] { tick(); });
+                             sim::from_seconds(params_.interval_s), [this] { tick(); },
+                             "cpuspeed.tick");
 }
 
 void CpuspeedDaemon::stop() {

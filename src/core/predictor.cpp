@@ -15,7 +15,8 @@ void PhasePredictorDaemon::start() {
   last_busy_ns_ = node_.cpu().busy_weighted_ns();
   next_tick_ =
       engine_.schedule_every(start_offset_ + sim::from_seconds(params_.interval_s),
-                             sim::from_seconds(params_.interval_s), [this] { tick(); });
+                             sim::from_seconds(params_.interval_s), [this] { tick(); },
+                             "predictor.tick");
 }
 
 void PhasePredictorDaemon::stop() {

@@ -171,12 +171,64 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   }
   sim::Engine engine;
 
+  // --- determinism observability (installed before anything schedules, so
+  // the digest streams cover the cluster's very first event) ---
+  std::unique_ptr<telemetry::DeterminismCollector> det;
+  if (config.determinism.any()) {
+    det = std::make_unique<telemetry::DeterminismCollector>(engine, config.determinism);
+  }
+
   machine::ClusterConfig cc = config.cluster;
   // The paper reports total system energy of the nodes running the job
   // (one battery per participating node); size the cluster accordingly.
   cc.nodes = workload.ranks;
   cc.seed = config.seed * 0x9e3779b97f4a7c15ULL + 0x1234567;
   machine::Cluster cluster(engine, cc);
+
+  if (det != nullptr) {
+    for (int i = 0; i < cluster.size(); ++i) {
+      cluster.node(i).power().set_digest(det->power_stream(), i);
+    }
+    if (telemetry::FlightRecorder* fr = det->recorder(); fr != nullptr) {
+      fr->add_state("engine", [&engine] {
+        char b[160];
+        std::snprintf(b, sizeof b,
+                      "{\"t_ns\":%llu,\"pending_events\":%zu,"
+                      "\"events_processed\":%zu}",
+                      static_cast<unsigned long long>(engine.now()),
+                      engine.pending_events(), engine.events_processed());
+        return std::string(b);
+      });
+      fr->add_state("rng_draws", [] {
+        return std::to_string(sim::RngTelemetry::draws);
+      });
+      // Dump-time read of the lazy integrators: pure, never folds (reads
+      // are deliberately outside the power digest).
+      fr->add_state("power", [&cluster] {
+        char b[64];
+        std::snprintf(b, sizeof b, "{\"total_joules\":%.9f}",
+                      cluster.total_energy_joules());
+        return std::string(b);
+      });
+      fr->add_state("digest", [d = det.get()] {
+        const auto& dg = d->digest();
+        char b[160];
+        std::snprintf(b, sizeof b,
+                      "{\"root\":\"%016llx\",\"events\":%llu,\"rng\":%llu,"
+                      "\"power\":%llu,\"mpi\":%llu}",
+                      static_cast<unsigned long long>(dg.root()),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kEvents].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kRng].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kPower].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kMpi].count));
+        return std::string(b);
+      });
+    }
+  }
 
   // --- telemetry (attach before any strategy acts, so EXTERNAL static
   // sets and meter-protocol events are captured too) ---
@@ -281,6 +333,7 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
         watchdogs.push_back(std::make_unique<fault::DaemonWatchdog>(
             engine, cluster.node(i), plan.resilience.watchdog_params, hooks,
             &*fault_report, hub.get()));
+        if (det != nullptr) watchdogs.back()->set_flight_recorder(det->recorder());
         watchdogs.back()->start();
         stoppers.push_back([w = watchdogs.back().get()] { w->stop(); });
       }
@@ -324,6 +377,7 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   std::vector<int> node_ids(workload.ranks);
   std::iota(node_ids.begin(), node_ids.end(), 0);
   mpi::Comm comm(cluster, node_ids, mpi::CostParams{}, tracer.get());
+  if (det != nullptr) comm.set_digest(det->mpi_stream());
 
   apps::AppContext ctx;
   ctx.comm = &comm;
@@ -439,6 +493,18 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
                                         result.energy_j);
   }
 
+  if (det != nullptr) {
+    telemetry::RunCapture capture = det->take_capture();
+    // Black box: a failed run dumps the last N causal steps at the failure
+    // instant (watchdog-fallback dumps are in fault_report already).
+    if (completion.failed && det->recorder() != nullptr) {
+      capture.flight_recording =
+          det->recorder()->dump_json(completion.failure, engine.now());
+    }
+    det->detach();
+    result.determinism = std::move(capture);
+  }
+
   if (hub != nullptr) {
     auto& reg = hub->registry();
     reg.set_help("run_delay_seconds", "Wall time from launch to last rank completion");
@@ -466,7 +532,9 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
       }
     }
     auto snap = telemetry::make_snapshot(*hub, sampler.get());
-    snap.chrome_trace_json = telemetry::to_chrome_json(snap, tracer.get());
+    snap.chrome_trace_json = telemetry::to_chrome_json(
+        snap, tracer.get(),
+        result.determinism.has_value() ? &*result.determinism : nullptr);
     result.telemetry = std::move(snap);
   }
 

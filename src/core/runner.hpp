@@ -21,6 +21,7 @@
 #include "fault/report.hpp"
 #include "machine/cluster.hpp"
 #include "profiler/profiler.hpp"
+#include "telemetry/determinism.hpp"
 #include "telemetry/options.hpp"
 #include "telemetry/snapshot.hpp"
 #include "trace/profile.hpp"
@@ -82,6 +83,12 @@ struct RunConfig {
   /// pre-discharge and meter polling; slower, quantized readings).
   bool use_meters = false;
 
+  /// Determinism observability (src/telemetry/determinism.hpp): per-run
+  /// digest streams + checkpoints, flight recorder, focused event capture.
+  /// The default (all off) is zero-cost and bit-identical to a build
+  /// without the observability layer.
+  telemetry::DeterminismOptions determinism;
+
   /// Fault injection + resilience (src/fault).  The default (empty) plan is
   /// zero-cost: no RNG stream is drawn, nothing is scheduled, and results
   /// are bit-identical to a build without the fault layer.
@@ -128,6 +135,11 @@ struct RunResult {
   std::string failure;
   /// Fault/resilience record (present whenever the fault layer was active).
   std::optional<fault::FaultReport> fault_report;
+  /// Determinism capture (when RunConfig::determinism enabled anything):
+  /// the RunDigest with its checkpoint trail, any focused event capture,
+  /// and — on a failed run with the flight recorder on — the black-box
+  /// JSON dump taken at the failure instant.
+  std::optional<telemetry::RunCapture> determinism;
 };
 
 /// Executes one measured run.  Throws std::invalid_argument (with the
@@ -161,6 +173,10 @@ class RunConfigBuilder {
   }
   RunConfigBuilder& telemetry(telemetry::TelemetryOptions t) { cfg_.telemetry = std::move(t); return *this; }
   RunConfigBuilder& use_meters(bool on = true) { cfg_.use_meters = on; return *this; }
+  RunConfigBuilder& determinism(telemetry::DeterminismOptions d) {
+    cfg_.determinism = d;
+    return *this;
+  }
   RunConfigBuilder& faults(fault::FaultPlan plan) { cfg_.faults = std::move(plan); return *this; }
   RunConfigBuilder& cluster(machine::ClusterConfig c) { cfg_.cluster = std::move(c); return *this; }
   RunConfigBuilder& slice_s(double s) { cfg_.slice_s = s; return *this; }

@@ -65,7 +65,7 @@ void Cpu::start_segment() {
   }
   if (dur < 0) dur = 0;
   active_->segment_running = true;
-  active_->finish_event = engine_.schedule_in(dur, [this] { finish_work(); });
+  active_->finish_event = engine_.schedule_in(dur, [this] { finish_work(); }, "cpu.finish_work");
 }
 
 void Cpu::pause_segment() {
@@ -135,7 +135,7 @@ void Cpu::begin_transition(std::size_t target) {
       config_.transition_min +
       (span == 0 ? 0 : static_cast<sim::SimDuration>(rng_.uniform_int(span + 1)));
   stats_.transition_stall_ns += latency;
-  transition_event_ = engine_.schedule_in(latency, [this] { end_transition(); });
+  transition_event_ = engine_.schedule_in(latency, [this] { end_transition(); }, "cpu.end_transition");
 }
 
 void Cpu::end_transition() {

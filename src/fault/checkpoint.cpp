@@ -18,7 +18,8 @@ void CheckpointService::start() {
   started_at_ = engine_.now();
   last_checkpoint_ = engine_.now();
   next_event_ = engine_.schedule_in(sim::from_seconds(interval_s_),
-                                    [this] { begin_checkpoint(); });
+                                    [this] { begin_checkpoint(); },
+                                    "checkpoint.begin");
 }
 
 void CheckpointService::stop() {
@@ -45,7 +46,8 @@ void CheckpointService::begin_checkpoint() {
   }
   if (report_ != nullptr) report_->checkpoint_stall_s += cost_s_ * stalled;
   next_event_ = engine_.schedule_in(sim::from_seconds(cost_s_),
-                                    [this] { end_checkpoint(); });
+                                    [this] { end_checkpoint(); },
+                                    "checkpoint.end");
 }
 
 void CheckpointService::end_checkpoint() {
@@ -63,7 +65,8 @@ void CheckpointService::end_checkpoint() {
   }
   if (running_) {
     next_event_ = engine_.schedule_in(sim::from_seconds(interval_s_),
-                                      [this] { begin_checkpoint(); });
+                                      [this] { begin_checkpoint(); },
+                                      "checkpoint.begin");
   }
 }
 

@@ -28,7 +28,8 @@ void FaultInjector::record(int node, const char* kind, telemetry::FaultPhase pha
 
 void FaultInjector::schedule(const FaultEvent& e) {
   pending_.push_back(
-      engine_.schedule_in(sim::from_seconds(e.at_s), [this, e] { apply(e); }));
+      engine_.schedule_in(sim::from_seconds(e.at_s), [this, e] { apply(e); },
+                          "fault.inject"));
 }
 
 void FaultInjector::arm() {
@@ -95,7 +96,9 @@ void FaultInjector::crash_node(int node, double boot_delay_s) {
     record(node, "node_crash", telemetry::FaultPhase::Injected, buf);
     if (report_ != nullptr) report_->redo_s += redo;
     pending_.push_back(
-        engine_.schedule_in(sim::from_seconds(downtime), [this, node, downtime] {
+        engine_.schedule_in(
+            sim::from_seconds(downtime),
+            [this, node, downtime] {
           cluster_.node(node).power_on();
           if (down_since_[node] >= 0 && report_ != nullptr) {
             report_->node_downtime_s +=
@@ -107,7 +110,8 @@ void FaultInjector::crash_node(int node, double boot_delay_s) {
           std::snprintf(msg, sizeof msg,
                         "rebooted after %.1f s, restarted from checkpoint", downtime);
           record(node, "node_crash", telemetry::FaultPhase::Recovered, msg);
-        }));
+            },
+            "fault.reboot"));
   } else {
     record(node, "node_crash", telemetry::FaultPhase::Injected,
            "hard power loss; no checkpoint/restart armed — node stays down");
@@ -180,7 +184,8 @@ void FaultInjector::apply(const FaultEvent& e) {
   }
   if (e.duration_s > 0) {
     pending_.push_back(engine_.schedule_in(sim::from_seconds(e.duration_s),
-                                           [this, e] { clear(e); }));
+                                           [this, e] { clear(e); },
+                                           "fault.clear"));
   }
 }
 

@@ -41,6 +41,11 @@ struct FaultReport {
   bool run_failed = false;
   std::string failure;
 
+  /// Flight-recorder dumps captured on failure paths (one JSON document per
+  /// watchdog fallback), oldest first.  Empty unless the run enabled the
+  /// recorder (RunConfig::determinism.flight_recorder).
+  std::vector<std::string> flight_recordings;
+
   void record(double t_s, int node, const char* kind, const char* phase,
               std::string detail);
 

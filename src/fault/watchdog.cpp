@@ -23,7 +23,7 @@ void DaemonWatchdog::start() {
   running_ = true;
   last_polls_ = hooks_.polls ? hooks_.polls() : -1;
   last_poll_change_ = engine_.now();
-  next_tick_ = engine_.schedule_in(start_offset_, [this] { tick(); });
+  next_tick_ = engine_.schedule_in(start_offset_, [this] { tick(); }, "watchdog.tick");
 }
 
 void DaemonWatchdog::stop() {
@@ -54,7 +54,7 @@ void DaemonWatchdog::tick() {
     }
   }
   next_tick_ = engine_.schedule_in(sim::from_seconds(params_.check_interval_s),
-                                   [this] { tick(); });
+                                   [this] { tick(); }, "watchdog.tick");
 }
 
 void DaemonWatchdog::check_daemon() {
@@ -89,7 +89,7 @@ void DaemonWatchdog::check_daemon() {
       hooks_.restart();
       record("daemon_wedge", telemetry::FaultPhase::Recovered,
              "daemon restarted by watchdog");
-    });
+    }, "watchdog.restart");
   } else {
     enter_fallback("daemon restarts exhausted");
   }
@@ -116,6 +116,13 @@ void DaemonWatchdog::enter_fallback(const char* why) {
   if (fallback_) return;
   fallback_ = true;
   if (report_ != nullptr) ++report_->fallbacks;
+  if (recorder_ != nullptr && report_ != nullptr) {
+    char reason[192];
+    std::snprintf(reason, sizeof reason, "watchdog fallback (node %d): %s",
+                  node_.id(), why);
+    report_->flight_recordings.push_back(
+        recorder_->dump_json(reason, engine_.now()));
+  }
   if (hooks_.disable) hooks_.disable();
   record("fallback", telemetry::FaultPhase::Detected,
          std::string("graceful degradation to full speed: ") + why);

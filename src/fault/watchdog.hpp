@@ -26,6 +26,7 @@
 #include "fault/report.hpp"
 #include "machine/node.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/hub.hpp"
 
 namespace pcd::fault {
@@ -57,6 +58,12 @@ class DaemonWatchdog {
   bool in_fallback() const { return fallback_; }
   std::int64_t restarts() const { return restarts_; }
 
+  /// Black-box wiring: when set, entering fallback dumps the recorder (the
+  /// last N causal steps that led here) into FaultReport::flight_recordings.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   void tick();
   void check_daemon();
@@ -71,6 +78,7 @@ class DaemonWatchdog {
   DaemonHooks hooks_;
   FaultReport* report_;
   telemetry::Hub* hub_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
   sim::SimDuration start_offset_;
 
   bool running_ = false;

@@ -32,6 +32,15 @@ Comm::Comm(machine::Cluster& cluster, std::vector<int> node_ids, CostParams cost
   mailboxes_.resize(node_ids_.size());
 }
 
+void Comm::note_match(int src, int dst, int tag, std::int64_t bytes) {
+  if (digest_ == nullptr) return;
+  const std::uint64_t rec[5] = {
+      static_cast<std::uint64_t>(engine_.now()), static_cast<std::uint64_t>(src),
+      static_cast<std::uint64_t>(dst), static_cast<std::uint64_t>(tag),
+      static_cast<std::uint64_t>(bytes)};
+  digest_->fold_record(rec, 5);
+}
+
 double Comm::protocol_cycles(std::int64_t bytes) const {
   return costs_.per_msg_cycles + costs_.per_kb_cycles * (static_cast<double>(bytes) / 1024.0);
 }
@@ -68,6 +77,7 @@ sim::Process Comm::send_proc(int rank, int dst, int tag, std::int64_t bytes,
       post->msg = msg;
       post->matched.set();
       msg->recv_posted.set();
+      note_match(rank, dst, tag, bytes);
       matched = true;
       break;
     }
@@ -99,6 +109,7 @@ sim::Process Comm::recv_proc(int rank, int src, int tag, Request req) {
   }
   if (msg) {
     msg->recv_posted.set();
+    note_match(msg->src, rank, msg->tag, msg->bytes);
   } else {
     auto post = std::make_shared<RecvPost>(engine_);
     post->src = src;

@@ -23,6 +23,7 @@
 
 #include "machine/cluster.hpp"
 #include "sim/op.hpp"
+#include "sim/provenance.hpp"
 #include "sim/process.hpp"
 #include "trace/tracer.hpp"
 
@@ -61,6 +62,12 @@ class Comm {
   machine::Cluster& cluster() { return cluster_; }
   const CommStats& stats() const { return stats_; }
   trace::Tracer* tracer() { return tracer_; }
+
+  /// Determinism observability: while set, every envelope match folds one
+  /// record (t, src, dst, tag, bytes) into the stream at the instant the
+  /// send meets its receive — the communication-order digest compared by
+  /// tools/pcd_diff.  Null (the default) is zero-cost.
+  void set_digest(sim::DigestStream* digest) { digest_ = digest; }
 
   // ---- point-to-point ----
 
@@ -134,6 +141,7 @@ class Comm {
 
   double protocol_cycles(std::int64_t bytes) const;
   double speed_ratio(int rank);
+  void note_match(int src, int dst, int tag, std::int64_t bytes);
   int next_coll_seq(int rank) { return coll_seq_.at(rank)++; }
 
   // Collective bodies, parameterized by the per-call sequence number.
@@ -146,6 +154,7 @@ class Comm {
   std::vector<int> node_ids_;
   CostParams costs_;
   trace::Tracer* tracer_;
+  sim::DigestStream* digest_ = nullptr;
   std::vector<Mailbox> mailboxes_;  // indexed by destination rank
   std::vector<int> coll_seq_;
   CommStats stats_;

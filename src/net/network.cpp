@@ -64,7 +64,7 @@ void Network::release(Port& port) {
     auto h = port.waiters.front();
     port.waiters.pop_front();
     // Hand the (still busy) port to the next waiter, FIFO.
-    engine_.schedule_in(0, [h] { h.resume(); });
+    engine_.schedule_in(0, [h] { h.resume(); }, "net.port_handoff");
   } else {
     port.busy = false;
   }
@@ -73,7 +73,7 @@ void Network::release(Port& port) {
 void Network::start_transfer(int src, int dst, std::int64_t bytes, double speed_ratio,
                              std::coroutine_handle<> h) {
   if (src == dst) {  // local copy: no wire, negligible time
-    engine_.schedule_in(0, [h] { h.resume(); });
+    engine_.schedule_in(0, [h] { h.resume(); }, "net.local_copy");
     return;
   }
   ++in_flight_;

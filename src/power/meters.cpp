@@ -70,7 +70,8 @@ void AcpiBattery::start_polling() {
   // First refresh after the random phase, then strictly every refresh
   // period: one pooled wheel timer for the whole polling lifetime.
   next_tick_ =
-      engine_.schedule_every(initial_phase_, refresh_period_, [this] { refresh_tick(); });
+      engine_.schedule_every(initial_phase_, refresh_period_, [this] { refresh_tick(); },
+                             "acpi.refresh");
 }
 
 void AcpiBattery::stop_polling() {
@@ -120,7 +121,8 @@ void BaytechStrip::start_polling() {
   joules_at_window_start_.clear();
   for (auto* node : outlets_) joules_at_window_start_.push_back(node->energy_joules());
   next_tick_ =
-      engine_.schedule_every(sim::from_seconds(params_.window_s), [this] { tick(); });
+      engine_.schedule_every(sim::from_seconds(params_.window_s), [this] { tick(); },
+                             "baytech.window");
 }
 
 void BaytechStrip::stop_polling() {

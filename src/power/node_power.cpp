@@ -1,5 +1,7 @@
 #include "power/node_power.hpp"
 
+#include <bit>
+
 namespace pcd::power {
 
 NodePowerParams NodePowerParams::nemo() {
@@ -32,7 +34,23 @@ NodePowerModel::NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerPara
       params_(params),
       cpu_model_(params.cpu, cpu.table().highest()),
       last_accrue_(engine.now()) {
-  cpu_.set_change_listener([this] { accrue(); });
+  cpu_.set_change_listener([this] {
+    accrue();
+    note_step();
+  });
+}
+
+void NodePowerModel::set_digest(sim::DigestStream* digest, int node_id) {
+  digest_ = digest;
+  node_id_ = node_id;
+}
+
+void NodePowerModel::note_step() const {
+  if (digest_ == nullptr) return;
+  const std::uint64_t rec[3] = {static_cast<std::uint64_t>(node_id_),
+                                static_cast<std::uint64_t>(engine_.now()),
+                                std::bit_cast<std::uint64_t>(energy_.total())};
+  digest_->fold_record(rec, 3);
 }
 
 PowerBreakdown NodePowerModel::breakdown() const {
@@ -74,6 +92,7 @@ void NodePowerModel::set_nic_flows(int flows) {
   if (flows == nic_flows_) return;
   accrue();
   nic_flows_ = flows;
+  note_step();
 }
 
 }  // namespace pcd::power

@@ -72,14 +72,24 @@ class NodePowerModel {
 
   const NodePowerParams& params() const { return params_; }
 
+  /// Determinism observability: while set, every *simulation-driven*
+  /// integration step (CPU state change, NIC flow change) folds one record
+  /// (node, t, cumulative joules) into the stream.  Pure reads also accrue
+  /// lazily but are deliberately NOT folded — the digest must be a function
+  /// of the simulation, not of who observed it.
+  void set_digest(sim::DigestStream* digest, int node_id);
+
  private:
   void accrue() const;
+  void note_step() const;
 
   sim::Engine& engine_;
   cpu::Cpu& cpu_;
   NodePowerParams params_;
   CpuPowerModel cpu_model_;
   int nic_flows_ = 0;
+  sim::DigestStream* digest_ = nullptr;
+  int node_id_ = -1;
 
   mutable sim::SimTime last_accrue_;
   mutable EnergyBreakdown energy_;

@@ -18,7 +18,8 @@ void ThermalModel::start() {
   last_sample_ = engine_.now();
   weighted_sum_c_ = 0;
   peak_c_ = temp_c_;
-  next_tick_ = engine_.schedule_every(sample_interval_, [this] { tick(); });
+  next_tick_ =
+      engine_.schedule_every(sample_interval_, [this] { tick(); }, "thermal.sample");
 }
 
 void ThermalModel::stop() {

@@ -109,15 +109,17 @@ void Engine::prune_run() {
 
 // ---- scheduling -----------------------------------------------------------
 
-EventId Engine::schedule_at(SimTime t, Callback cb) {
+EventId Engine::schedule_at(SimTime t, Callback cb, const char* site) {
   assert(t >= now_ && "cannot schedule events in the simulated past");
   if (t < now_) t = now_;
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq();
   const std::uint32_t slot = alloc_slot();
   EventNode& n = node(slot);
   n.t = t;
   n.seq = seq;
   n.period = 0;
+  n.parent = dispatch_parent_;
+  n.site = site;
   n.flags = kArmed;
   n.cb = std::move(cb);
   // A fresh event's seq is the global maximum, so comparing times alone
@@ -135,22 +137,25 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   return EventId{slot, n.gen};
 }
 
-EventId Engine::schedule_in(SimDuration dt, Callback cb) {
+EventId Engine::schedule_in(SimDuration dt, Callback cb, const char* site) {
   assert(dt >= 0 && "cannot schedule events in the simulated past");
   if (dt < 0) dt = 0;
-  return schedule_at(now_ + dt, std::move(cb));
+  return schedule_at(now_ + dt, std::move(cb), site);
 }
 
-EventId Engine::schedule_every(SimDuration first_delay, SimDuration period, Callback cb) {
+EventId Engine::schedule_every(SimDuration first_delay, SimDuration period, Callback cb,
+                               const char* site) {
   assert(first_delay >= 0 && "cannot schedule events in the simulated past");
   if (first_delay < 0) first_delay = 0;
   if (period <= 0) throw std::invalid_argument("schedule_every: period must be positive");
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = next_seq();
   const std::uint32_t slot = alloc_slot();
   EventNode& n = node(slot);
   n.t = now_ + first_delay;
   n.seq = seq;
   n.period = period;
+  n.parent = dispatch_parent_;
+  n.site = site;
   n.flags = kArmed;
   n.cb = std::move(cb);
   bucket_insert(slot);
@@ -303,14 +308,21 @@ void Engine::dispatch_oneshot(HeapEntry e) {
   if (n.gen == 0) n.gen = 1;
   --live_events_;
   ++processed_;
+  const std::uint64_t parent_before = dispatch_parent_;
+  dispatch_parent_ = n.seq;
+  std::uint64_t draws_before = 0;
+  if (det_.per_event) draws_before = RngTelemetry::draws;
   try {
     n.cb();
   } catch (...) {
+    dispatch_parent_ = parent_before;
     n.cb.reset();
     n.next = free_head_;
     free_head_ = e.slot;
     throw;
   }
+  dispatch_parent_ = parent_before;
+  if (det_.event_digest != nullptr) note_dispatch(n, draws_before);
   n.cb.reset();
   n.next = free_head_;
   free_head_ = e.slot;
@@ -323,15 +335,24 @@ void Engine::dispatch_wheel(std::uint32_t slot) {
   bucket_unlink(slot);
   n.flags = static_cast<std::uint8_t>(n.flags | kFiring);
   ++processed_;
+  const std::uint64_t parent_before = dispatch_parent_;
+  dispatch_parent_ = n.seq;
+  std::uint64_t draws_before = 0;
+  if (det_.per_event) draws_before = RngTelemetry::draws;
   // In-place invoke: the chunked slab never relocates the node, even if the
   // callback schedules events, so the callable is never moved between fires.
   try {
     n.cb();
   } catch (...) {
+    dispatch_parent_ = parent_before;
     if ((n.flags & kArmed) != 0) --live_events_;  // not cancelled from inside
     release_slot(slot);
     throw;  // the recurrence stops, as if the reschedule never ran
   }
+  dispatch_parent_ = parent_before;
+  // Digest/provenance note *before* the re-arm overwrites seq: the record
+  // must describe the occurrence that just fired.
+  if (det_.event_digest != nullptr) note_dispatch(n, draws_before);
   if ((n.flags & kArmed) == 0) {
     release_slot(slot);  // cancelled from inside the callback
     return;
@@ -341,9 +362,30 @@ void Engine::dispatch_wheel(std::uint32_t slot) {
   // trailing schedule_in() would have drawn it, so the global (time, seq)
   // order is bit-identical to the legacy pattern.
   n.flags = static_cast<std::uint8_t>(n.flags & ~kFiring);
-  n.seq = next_seq_++;
+  n.seq = next_seq();
   n.t += n.period;
   bucket_insert(slot);
+}
+
+// The cold half of note_dispatch (see engine.hpp for the inlined digest
+// fold): per-event provenance records for the observer tier, plus the
+// periodic checkpoint callback.  Also reached on checkpoint boundaries of
+// digest-only runs with no observer, where both branches fall through.
+void Engine::note_dispatch_slow(const EventNode& n, std::uint64_t draws_before) {
+  if (det_.per_event) {
+    EventProvenance p;
+    p.index = det_.event_digest->count;
+    p.seq = n.seq;
+    p.parent = n.parent;
+    p.site = n.site;
+    p.t = n.t;
+    p.rng_draws = RngTelemetry::draws - draws_before;
+    det_.observer->on_event(p);
+  }
+  if ((det_.event_digest->count & det_.checkpoint_mask) == 0 &&
+      det_.observer != nullptr) {
+    det_.observer->on_checkpoint(det_.event_digest->count);
+  }
 }
 
 bool Engine::step() {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/provenance.hpp"
 #include "sim/time.hpp"
 
 namespace pcd::sim {
@@ -53,11 +54,13 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  /// Schedules `cb` at absolute time `t` (must be >= now()).
-  EventId schedule_at(SimTime t, Callback cb);
+  /// Schedules `cb` at absolute time `t` (must be >= now()).  `site` is a
+  /// scheduling-site label for determinism provenance; it must point at a
+  /// string with static storage duration (the engine stores the pointer).
+  EventId schedule_at(SimTime t, Callback cb, const char* site = "");
 
   /// Schedules `cb` at now() + dt (dt must be >= 0).
-  EventId schedule_in(SimDuration dt, Callback cb);
+  EventId schedule_in(SimDuration dt, Callback cb, const char* site = "");
 
   /// Schedules `cb` to fire at now() + first_delay and then every `period`
   /// after the previous fire, until cancelled.  Each occurrence draws a
@@ -65,9 +68,10 @@ class Engine {
   /// event interleaves with one-shot events exactly as if the callback
   /// rescheduled itself with schedule_in as its last statement — but the
   /// steady state never touches the heap or the binary event heap.
-  EventId schedule_every(SimDuration first_delay, SimDuration period, Callback cb);
-  EventId schedule_every(SimDuration period, Callback cb) {
-    return schedule_every(period, period, std::move(cb));
+  EventId schedule_every(SimDuration first_delay, SimDuration period, Callback cb,
+                         const char* site = "");
+  EventId schedule_every(SimDuration period, Callback cb, const char* site = "") {
+    return schedule_every(period, period, std::move(cb), site);
   }
 
   /// Cancels a pending event.  Returns false for an invalid id, or if the
@@ -112,6 +116,35 @@ class Engine {
   /// failed/abandoned run the frames must die while the cluster is alive.
   void destroy_suspended_frames();
 
+  // ---- determinism observability ----
+
+  /// Hooks installed by a telemetry::DeterminismCollector.  Two cost tiers:
+  /// with only `event_digest` set, dispatch folds one provenance word per
+  /// event into the stream (the "always on in CI" tier the ≤3% overhead
+  /// gate covers); with `per_event` also set, the observer additionally
+  /// receives the full EventProvenance record after every callback (flight
+  /// recorder / focused capture — a virtual call per event, debug tier).
+  /// `observer->on_checkpoint` fires whenever the event digest's count
+  /// crosses a multiple of (checkpoint_mask + 1), which must be a power of
+  /// two.
+  struct DeterminismHooks {
+    DigestStream* event_digest = nullptr;
+    std::uint64_t checkpoint_mask = 4095;  // checkpoint every 4096 events
+    EventObserver* observer = nullptr;
+    bool per_event = false;
+  };
+  void set_determinism(const DeterminismHooks& hooks) { det_ = hooks; }
+  void clear_determinism() { det_ = DeterminismHooks{}; }
+
+  /// Seq of the event whose callback is currently executing (0 outside any
+  /// dispatch).  New events record this as their causal parent.
+  std::uint64_t dispatching_seq() const { return dispatch_parent_; }
+
+  /// Debug hook: swaps the allocation order of sequence numbers `seq` and
+  /// `seq + 1` — the minimal scheduling-order perturbation, used to
+  /// exercise divergence localization.  Pass 0 to disable.
+  void set_seq_perturbation(std::uint64_t seq) { perturb_seq_ = seq; }
+
  private:
   friend struct EngineTestAccess;  // white-box tests (generation wrap)
 
@@ -128,6 +161,8 @@ class Engine {
     SimTime t = 0;
     std::uint64_t seq = 0;
     SimDuration period = 0;       // > 0: periodic, parked in the wheel
+    std::uint64_t parent = 0;     // seq of the scheduling event (provenance)
+    const char* site = "";        // scheduling-site label (static storage)
     std::uint32_t gen = 0;        // matches EventId.gen while armed
     std::uint32_t next = kNil;    // free list / wheel bucket chain
     std::uint32_t prev = kNil;    // wheel bucket back link (O(1) unlink)
@@ -196,6 +231,24 @@ class Engine {
   void dispatch_oneshot(HeapEntry e);
   void dispatch_wheel(std::uint32_t slot);
   bool next_event_time(SimTime* out);
+  void note_dispatch(const EventNode& n, std::uint64_t draws_before);
+  void note_dispatch_slow(const EventNode& n, std::uint64_t draws_before);
+
+  // Allocates the next sequence number, honoring the perturbation hook:
+  // when next_seq_ hits perturb_seq_, seq N+1 is handed out before seq N.
+  // perturb_seq_ == 0 never matches (seq allocation starts at 1).
+  std::uint64_t next_seq() {
+    if (pending_seq_ != 0) [[unlikely]] {
+      const std::uint64_t s = pending_seq_;
+      pending_seq_ = 0;
+      return s;
+    }
+    if (next_seq_ == perturb_seq_) [[unlikely]] {
+      pending_seq_ = next_seq_++;
+      return next_seq_++;
+    }
+    return next_seq_++;
+  }
 
   // One-shot events split between two containers (ladder-queue style).
   // Simulations overwhelmingly schedule in near-monotone time order, so an
@@ -231,6 +284,43 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t processed_ = 0;
+
+  // Determinism observability state.  dispatch_parent_ is maintained
+  // unconditionally (two plain stores per dispatch); everything else hides
+  // behind the det_.event_digest null check.
+  DeterminismHooks det_;
+  std::uint64_t dispatch_parent_ = 0;
+  std::uint64_t perturb_seq_ = 0;
+  std::uint64_t pending_seq_ = 0;
+  const char* last_site_ = nullptr;   // single-entry site-hash cache:
+  std::uint64_t last_site_hash_ = 0;  // labels are static literals, so
+                                      // pointer identity ≈ value identity
 };
+
+// Folds one dispatched event into the event-order digest.  The folded word
+// mixes time, sequence, parent, and site: two runs that dispatch the same
+// (t, seq) pairs but hand them to different callbacks — e.g. after a
+// seq-allocation swap between two same-time events — still produce
+// different streams, because site and parent differ.  Inlined into the
+// dispatch paths: the three multiplies are independent (ILP-friendly) and
+// only the running-hash chain is serial across events, which keeps the
+// digest-only tier inside the ≤3% overhead gate.  Observer work (per-event
+// records, checkpoints) is the out-of-line slow path.
+inline void Engine::note_dispatch(const EventNode& n, std::uint64_t draws_before) {
+  std::uint64_t site_h = last_site_hash_;
+  if (n.site != last_site_) {
+    last_site_ = n.site;
+    last_site_hash_ = site_h = digest_cstr(n.site);
+  }
+  const std::uint64_t w =
+      (static_cast<std::uint64_t>(n.t) * 0x9e3779b97f4a7c15ULL) ^
+      (n.seq * 0xff51afd7ed558ccdULL) ^ (n.parent * 0xc4ceb9fe1a85ec53ULL) ^
+      site_h;
+  det_.event_digest->fold(w);
+  if (det_.per_event ||
+      (det_.event_digest->count & det_.checkpoint_mask) == 0) [[unlikely]] {
+    note_dispatch_slow(n, draws_before);
+  }
+}
 
 }  // namespace pcd::sim

@@ -82,7 +82,7 @@ class Process {
           engine->post_orphan_exception(ex);
         }
         for (auto w : waiters) {
-          engine->schedule_in(0, [w] { w.resume(); });
+          engine->schedule_in(0, [w] { w.resume(); }, "process.join");
         }
       }
       void await_resume() noexcept {}
@@ -191,7 +191,7 @@ inline Process spawn(Engine& engine, Process proc) {
   h.promise().engine_ptr = &engine;
   h.promise().frame_slot = engine.register_frame(h, &Process::detach_frame);
   proc.started_ = true;
-  engine.schedule_in(0, [h] { h.resume(); });
+  engine.schedule_in(0, [h] { h.resume(); }, "process.spawn");
   return proc;
 }
 
@@ -202,7 +202,7 @@ struct DelayAwaiter {
   template <typename Promise>
   void await_suspend(std::coroutine_handle<Promise> h) {
     Engine* engine = h.promise().engine();
-    engine->schedule_in(dt, [h]() mutable { h.resume(); });
+    engine->schedule_in(dt, [h]() mutable { h.resume(); }, "process.delay");
   }
   void await_resume() const {}
 };
@@ -223,7 +223,7 @@ class Event {
     auto waiters = std::move(waiters_);
     waiters_.clear();
     for (auto w : waiters) {
-      engine_->schedule_in(0, [w] { w.resume(); });
+      engine_->schedule_in(0, [w] { w.resume(); }, "event.set");
     }
   }
 
@@ -265,7 +265,7 @@ class Queue {
       waiters_.erase(waiters_.begin());
       w->item = std::move(value);
       auto h = w->handle;
-      engine_->schedule_in(0, [h] { h.resume(); });
+      engine_->schedule_in(0, [h] { h.resume(); }, "queue.push");
       return;
     }
     items_.push_back(std::move(value));

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "sim/provenance.hpp"
+
 namespace pcd::sim {
 
 /// xoshiro256** by Blackman & Vigna, seeded through SplitMix64.
@@ -40,6 +42,15 @@ class Rng {
     state_[0] ^= state_[3];
     state_[2] ^= t;
     state_[3] = rotl(state_[3], 45);
+    // Determinism observability: while a collector is installed, every draw
+    // on this thread is folded into the run's RNG digest stream and counted
+    // (the engine attributes the count to the dispatching event).  Both
+    // effects live under one branch so the uninstrumented path stays a
+    // single never-taken compare.
+    if (RngTelemetry::digest != nullptr) {
+      ++RngTelemetry::draws;
+      RngTelemetry::digest->fold(result);
+    }
     return result;
   }
 

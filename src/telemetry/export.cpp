@@ -104,7 +104,8 @@ std::string to_prometheus(const MetricsRegistry& registry) {
 }
 
 std::string to_chrome_json(const TelemetrySnapshot& snapshot,
-                           const trace::Tracer* tracer) {
+                           const trace::Tracer* tracer,
+                           const RunCapture* determinism) {
   // Collect (ts, json) pairs, sort by ts so the stream is monotone.
   struct Ev {
     double ts;
@@ -207,6 +208,38 @@ std::string to_chrome_json(const TelemetrySnapshot& snapshot,
     }
   }
 
+  // Captured engine events (determinism focused capture): one short slice
+  // per dispatch under a dedicated process, with provenance flow arrows
+  // from each event's scheduling parent.
+  if (determinism != nullptr && !determinism->events.empty()) {
+    for (const auto& e : determinism->events) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":0.001,\"pid\":2,\"tid\":0,"
+                    "\"args\":{\"seq\":%llu,\"parent\":%llu,\"index\":%llu,"
+                    "\"rng_draws\":%llu}}",
+                    escape(e.site).c_str(), us(e.t),
+                    static_cast<unsigned long long>(e.seq),
+                    static_cast<unsigned long long>(e.parent),
+                    static_cast<unsigned long long>(e.index),
+                    static_cast<unsigned long long>(e.rng_draws));
+      events.push_back({us(e.t), buf});
+      if (e.parent == 0) continue;
+      const auto pit = determinism->chain.find(e.parent);
+      if (pit == determinism->chain.end()) continue;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"prov\",\"cat\":\"provenance\",\"ph\":\"s\","
+                    "\"id\":%llu,\"ts\":%.3f,\"pid\":2,\"tid\":0}",
+                    static_cast<unsigned long long>(e.seq), us(pit->second.t));
+      events.push_back({us(pit->second.t), buf});
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"prov\",\"cat\":\"provenance\",\"ph\":\"f\","
+                    "\"bp\":\"e\",\"id\":%llu,\"ts\":%.3f,\"pid\":2,\"tid\":0}",
+                    static_cast<unsigned long long>(e.seq), us(e.t));
+      events.push_back({us(e.t), buf});
+    }
+  }
+
   std::stable_sort(events.begin(), events.end(),
                    [](const Ev& a, const Ev& b) { return a.ts < b.ts; });
 
@@ -215,6 +248,46 @@ std::string to_chrome_json(const TelemetrySnapshot& snapshot,
          "\"args\":{\"name\":\"ranks\"}},\n";
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"ts\":0,"
          "\"args\":{\"name\":\"nodes\"}}";
+  // Thread-name metadata so tracks render as "rank N" / "node N" instead of
+  // bare numeric tids.
+  if (tracer != nullptr) {
+    for (int rank = 0; rank < tracer->ranks(); ++rank) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                    "\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"rank %d\"}}",
+                    rank, rank);
+      out += buf;
+    }
+  }
+  {
+    std::vector<int> node_tids;
+    auto note_tid = [&node_tids](int node) {
+      if (node < 0) return;
+      if (std::find(node_tids.begin(), node_tids.end(), node) == node_tids.end()) {
+        node_tids.push_back(node);
+      }
+    };
+    for (const auto& t : snapshot.transitions) note_tid(t.node);
+    for (const auto& d : snapshot.decisions) note_tid(d.node);
+    for (const auto& f : snapshot.faults) note_tid(f.node);
+    for (std::size_t n = 0; n < snapshot.series.size(); ++n) {
+      note_tid(static_cast<int>(n));
+    }
+    std::sort(node_tids.begin(), node_tids.end());
+    for (int node : node_tids) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"node %d\"}}",
+                    node, node);
+      out += buf;
+    }
+  }
+  if (determinism != nullptr && !determinism->events.empty()) {
+    out += ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"ts\":0,"
+           "\"args\":{\"name\":\"engine\"}}";
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"ts\":0,\"args\":{\"name\":\"event dispatch\"}}";
+  }
   for (const auto& e : events) {
     out += ",\n";
     out += e.json;

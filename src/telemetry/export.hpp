@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "telemetry/determinism.hpp"
 #include "telemetry/snapshot.hpp"
 #include "trace/tracer.hpp"
 
@@ -18,9 +19,14 @@ std::string to_prometheus(const std::vector<MetricSample>& samples);
 std::string to_prometheus(const MetricsRegistry& registry);
 
 /// Chrome trace-event JSON.  `tracer` may be null (DVS/power events only).
-/// Events are emitted sorted by timestamp (ts in microseconds).
+/// Events are emitted sorted by timestamp (ts in microseconds).  Process
+/// and thread name metadata records give simulated ranks/nodes readable
+/// track names.  When `determinism` carries a focused event capture, the
+/// captured engine events are emitted as slices on a dedicated "engine"
+/// process with parent->child provenance flow arrows.
 std::string to_chrome_json(const TelemetrySnapshot& snapshot,
-                           const trace::Tracer* tracer = nullptr);
+                           const trace::Tracer* tracer = nullptr,
+                           const RunCapture* determinism = nullptr);
 
 /// Sampler series as CSV:
 ///   node,t_s,freq_mhz,utilization,watts_cpu,...,watts_total

@@ -1,0 +1,57 @@
+// Flight recorder: the simulator's black box.
+//
+// A fixed-size ring of the most recent event-provenance records plus a set
+// of registered state-snapshot providers (RNG draw counts, power totals,
+// engine queue state).  On a failure path — watchdog fallback, progress
+// timeout, deadlock — the owner calls dump_json() and attaches the result
+// to the fault report / RunResult, so the last N causal steps before the
+// failure survive the crash.  Recording is O(1) per event and allocation
+// free after construction; providers run only at dump time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/provenance.hpp"
+#include "sim/time.hpp"
+
+namespace pcd::telemetry {
+
+class FlightRecorder {
+ public:
+  /// `entries` is rounded up to a power of two (minimum 2).
+  explicit FlightRecorder(std::size_t entries = 1024);
+
+  void record(const sim::EventProvenance& p) {
+    ring_[static_cast<std::size_t>(head_) & mask_] = p;
+    ++head_;
+  }
+
+  /// Registers a named state provider; `fn` must return a JSON value
+  /// (object, number, or quoted string) and is invoked only by dump_json.
+  void add_state(std::string name, std::function<std::string()> fn) {
+    providers_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  /// Structured JSON dump: reason, sim time, state snapshots, and the
+  /// retained provenance records oldest-first.
+  std::string dump_json(const std::string& reason, sim::SimTime now) const;
+
+  std::uint64_t recorded() const { return head_; }       // total ever seen
+  std::size_t capacity() const { return ring_.size(); }
+  bool wrapped() const { return head_ > ring_.size(); }
+
+  /// Retained records, oldest-first (at most capacity() of them).
+  std::vector<sim::EventProvenance> entries() const;
+
+ private:
+  std::vector<sim::EventProvenance> ring_;
+  std::size_t mask_;
+  std::uint64_t head_ = 0;
+  std::vector<std::pair<std::string, std::function<std::string()>>> providers_;
+};
+
+}  // namespace pcd::telemetry

@@ -32,7 +32,8 @@ void TimeSeriesSampler::start() {
   last_tick_ = engine_.now();
   for (int i = 0; i < nodes(); ++i) last_busy_ns_[i] = probe_(i).busy_weighted_ns;
   next_tick_ =
-      engine_.schedule_every(sim::from_seconds(params_.period_s), [this] { tick(); });
+      engine_.schedule_every(sim::from_seconds(params_.period_s), [this] { tick(); },
+                             "telemetry.sample");
 }
 
 void TimeSeriesSampler::stop() {

@@ -372,6 +372,34 @@ TEST(FaultRunner, WatchdogFallbackPreservesPerformanceConstraint) {
             std::string::npos);
 }
 
+TEST(FaultRunner, WatchdogFallbackDumpsTheFlightRecorder) {
+  // Same stuck-DVS scenario as above, with the determinism flight recorder
+  // armed: every watchdog fallback must attach a black-box dump carrying
+  // the last causal steps plus the registered state snapshots.
+  core::RunConfig cfg;
+  cfg.daemon = core::CpuspeedParams{};
+  cfg.daemon->interval_s = 0.2;
+  for (int n = 0; n < 8; ++n) {
+    cfg.faults.events.push_back(fault::stuck_dvs(0.3, n, 1.0));
+  }
+  cfg.faults.resilience.watchdog = true;
+  cfg.faults.resilience.watchdog_params.check_interval_s = 0.25;
+  cfg.faults.resilience.watchdog_params.stuck_checks_before_fallback = 2;
+  cfg.determinism.flight_recorder = true;
+  cfg.determinism.recorder_entries = 256;
+  const auto r = core::run_workload(apps::make_cg(0.15), cfg);
+
+  ASSERT_TRUE(r.fault_report.has_value());
+  EXPECT_EQ(r.fault_report->fallbacks, 8);
+  ASSERT_EQ(r.fault_report->flight_recordings.size(), 8u);
+  const std::string& dump = r.fault_report->flight_recordings.front();
+  EXPECT_NE(dump.find("watchdog fallback (node"), std::string::npos);
+  EXPECT_NE(dump.find("\"events\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"site\":\""), std::string::npos);
+  EXPECT_NE(dump.find("\"rng_draws\""), std::string::npos);
+  EXPECT_NE(dump.find("\"engine\""), std::string::npos);
+}
+
 TEST(FaultRunner, WatchdogRestartsWedgedDaemon) {
   core::RunConfig cfg;
   cfg.daemon = core::CpuspeedParams{};
