@@ -68,6 +68,12 @@ struct CellResult {
   std::vector<std::string> errors;       // distinct failure/error strings
   std::string first_exception;           // text of the first thrown trial
 
+  /// Structured root cause when the cell's RunConfig failed validation
+  /// (lenient expansion): one entry per offending field, so service error
+  /// responses and reports carry the exact issue list, not just a rendered
+  /// string.  Empty for cells that were actually executed.
+  std::vector<core::ConfigIssue> config_issues;
+
   /// Median normalized against another cell (e.g. the full-speed baseline).
   core::EnergyDelay normalized_to(const CellResult& baseline) const;
 };

@@ -12,7 +12,11 @@
 namespace pcd::campaign {
 
 CampaignResult CampaignRunner::run(const ExperimentSpec& spec) const {
-  const auto plans = spec.expand();
+  return run_cells(spec, spec.expand());
+}
+
+CampaignResult CampaignRunner::run_cells(const ExperimentSpec& spec,
+                                         std::vector<CellPlan> plans) const {
   const int trials = spec.trial_count();
   const auto& workloads = spec.workload_entries();
 
@@ -54,15 +58,35 @@ CampaignResult CampaignRunner::run(const ExperimentSpec& spec) const {
     const CellPlan& plan = plans[cell_index];
 
     TrialRecord rec;
-    try {
-      rec.result = core::run_workload(workloads[plan.workload].second,
-                                      trial_config(plan.config, trial));
-    } catch (const std::exception& e) {
+    if (!plan.valid()) {
+      // Lenient expansion left the structured issue list on the plan: the
+      // cell is never executed, and every trial records the root cause the
+      // way a thrown run would (so tsv()'s errors column carries it too).
       rec.threw = true;
-      rec.error = e.what();
-    } catch (...) {
-      rec.threw = true;
-      rec.error = "unknown exception";
+      rec.error = "invalid cell config: " + core::describe(plan.issues);
+    } else if (options_.cancel != nullptr &&
+               options_.cancel->load(std::memory_order_relaxed)) {
+      rec.result.failed = true;
+      rec.result.failure = "run cancelled before start";
+    } else {
+      core::RunConfig cfg = trial_config(plan.config, trial);
+      if (options_.cancel != nullptr && cfg.cancel == nullptr) {
+        cfg.cancel = options_.cancel;
+      }
+      if (options_.run_deadline_s > 0 &&
+          (cfg.wall_deadline_s <= 0 ||
+           cfg.wall_deadline_s > options_.run_deadline_s)) {
+        cfg.wall_deadline_s = options_.run_deadline_s;
+      }
+      try {
+        rec.result = core::run_workload(workloads[plan.workload].second, cfg);
+      } catch (const std::exception& e) {
+        rec.threw = true;
+        rec.error = e.what();
+      } catch (...) {
+        rec.threw = true;
+        rec.error = "unknown exception";
+      }
     }
     const bool run_failed = rec.threw || rec.result.failed;
 
@@ -73,6 +97,7 @@ CampaignResult CampaignRunner::run(const ExperimentSpec& spec) const {
     if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       CellResult cell = aggregate_cell(std::move(state.records));
       cell.index = plan.index;
+      cell.config_issues = plan.issues;
       cell.workload = plan.workload_label;
       cell.labels = plan.labels;
       cell.numbers = plan.numbers;

@@ -12,9 +12,11 @@
 // and cells sit at fixed matrix positions.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "campaign/result.hpp"
 #include "campaign/spec.hpp"
@@ -42,6 +44,19 @@ struct CampaignOptions {
   /// campaign_failures_total counters and a campaign_runs_in_flight gauge,
   /// updated under the same lock as on_progress.
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  /// Cooperative cancellation, threaded into every trial's RunConfig and
+  /// checked before each trial starts.  Once raised, in-flight runs abort
+  /// with a structured "run cancelled" failure at their next event-batch
+  /// boundary and not-yet-started trials are recorded as cancelled without
+  /// executing.  Null = never cancelled (zero-cost).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Per-trial wall-clock deadline in seconds (0 = none): applied to every
+  /// trial whose cell config does not already carry a tighter
+  /// RunConfig::wall_deadline_s.  The campaign service uses this to keep a
+  /// stuck cell from wedging a worker forever.
+  double run_deadline_s = 0;
 };
 
 class CampaignRunner {
@@ -50,6 +65,18 @@ class CampaignRunner {
 
   /// Expands (eagerly validating every cell), executes, aggregates.
   CampaignResult run(const ExperimentSpec& spec) const;
+
+  /// Executes an explicit set of cell plans from `spec` — any subset or
+  /// reordering of expand()/expand_lenient() output.  This is the campaign
+  /// service's entry point: it re-runs only the cells its result cache
+  /// missed, on the same work-stealing pool with the same determinism
+  /// guarantees.  Plans with validation issues are not executed; their
+  /// cells carry a structured failure (config_issues + error text) so the
+  /// TSV and service responses name the root cause.  Cells land in the
+  /// result in the order given; CellResult::index keeps each plan's
+  /// original matrix position.
+  CampaignResult run_cells(const ExperimentSpec& spec,
+                           std::vector<CellPlan> plans) const;
 
  private:
   CampaignOptions options_;

@@ -114,6 +114,16 @@ std::size_t ExperimentSpec::cells() const {
 }
 
 std::vector<CellPlan> ExperimentSpec::expand() const {
+  auto plans = expand_lenient();
+  for (auto& cell : plans) {
+    if (cell.issues.empty()) continue;
+    std::string message = "invalid ExperimentSpec: " + core::describe(cell.issues);
+    throw SpecError(std::move(message), std::move(cell.issues));
+  }
+  return plans;
+}
+
+std::vector<CellPlan> ExperimentSpec::expand_lenient() const {
   std::vector<core::ConfigIssue> issues;
   if (workloads_.empty()) issues.push_back({"workloads", "campaign needs at least one workload"});
   if (trials_ < 1) issues.push_back({"trials", "need at least one trial"});
@@ -152,8 +162,7 @@ std::vector<CellPlan> ExperimentSpec::expand() const {
         for (const auto& l : cell.labels) where += " / " + l;
         where += "'";
         for (auto& i : cell_issues) i.field = where + " " + i.field;
-        std::string message = "invalid ExperimentSpec: " + core::describe(cell_issues);
-        throw SpecError(std::move(message), std::move(cell_issues));
+        cell.issues = std::move(cell_issues);
       }
       plans.push_back(std::move(cell));
       // Odometer increment over the axis indices, innermost fastest.

@@ -85,6 +85,13 @@ struct CellPlan {
   std::vector<double> numbers;        // numeric value per axis (0 if none)
   std::vector<bool> numeric;          // whether numbers[i] is meaningful
   core::RunConfig config;
+
+  /// Structured validation problems for this cell (lenient expansion only;
+  /// expand() throws instead).  A cell with issues is never executed: the
+  /// runner synthesizes a structured failure carrying the issue text.
+  std::vector<core::ConfigIssue> issues;
+
+  bool valid() const { return issues.empty(); }
 };
 
 /// Declarative campaign: workloads x axes x trials.
@@ -127,6 +134,13 @@ class ExperimentSpec {
   /// validated eagerly — a bad cell raises SpecError (naming the cell)
   /// before any run starts.  Requires >= 1 workload and >= 1 trial.
   std::vector<CellPlan> expand() const;
+
+  /// Lenient expansion for servers: structural problems (no workloads, no
+  /// trials, an empty axis) still raise SpecError, but a cell whose
+  /// RunConfig fails validation is returned with `issues` filled instead of
+  /// aborting the whole matrix — one bad cell in a client's sweep yields
+  /// one structured per-cell error, not a rejected campaign.
+  std::vector<CellPlan> expand_lenient() const;
 
  private:
   std::vector<std::pair<std::string, apps::Workload>> workloads_;

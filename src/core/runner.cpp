@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <numeric>
@@ -148,6 +149,10 @@ std::vector<ConfigIssue> RunConfig::validate() const {
   }
   if (faults.horizon_s < 0) {
     issues.push_back({"faults.horizon_s", "hazard horizon cannot be negative"});
+  }
+  if (wall_deadline_s < 0) {
+    issues.push_back({"wall_deadline_s", "wall-clock deadline cannot be negative, got " +
+                                             std::to_string(wall_deadline_s)});
   }
   if (faults.resilience.checkpoint_interval_s < 0 ||
       faults.resilience.checkpoint_cost_s < 0) {
@@ -422,18 +427,52 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
                                          mpi_timeout_s, &completion));
   }
 
+  // Structured mid-run abort shared by the cancellation, deadline, and
+  // deadlock paths: snapshot the measurement window at the abort instant and
+  // stop every daemon/sampler so no later event advances the clock.
+  auto abort_run = [&](std::string why) {
+    completion.failed = true;
+    completion.failure = std::move(why);
+    completion.t_end = engine.now();
+    completion.energy_end = cluster.total_energy_joules();
+    for (auto& stop : stoppers) stop();
+    completion.done = true;
+  };
+
+  // Cancellation and wall-clock deadline checks run between event batches:
+  // a pure wall-side read (no event scheduled, no RNG drawn), so a run
+  // that is never cancelled stays bit-identical to an unbounded one.
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto check_control = [&]() -> bool {  // true = keep running
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      abort_run("run cancelled by caller");
+      return false;
+    }
+    if (config.wall_deadline_s > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+              .count();
+      if (elapsed > config.wall_deadline_s) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "wall-clock deadline exceeded: %.2f s elapsed against a "
+                      "%.2f s budget",
+                      elapsed, config.wall_deadline_s);
+        abort_run(buf);
+        return false;
+      }
+    }
+    return true;
+  };
+
   while (!completion.done) {
+    if (!check_control()) break;
     if (engine.run(200'000) == 0) {
       if (plan.active()) {
         // Structured failure: a crashed node left the survivors blocked in
         // MPI with nothing else scheduled.
-        completion.failed = true;
-        completion.failure =
-            "cluster deadlocked: ranks blocked in MPI with no events pending";
-        completion.t_end = engine.now();
-        completion.energy_end = cluster.total_energy_joules();
-        for (auto& stop : stoppers) stop();
-        completion.done = true;
+        abort_run("cluster deadlocked: ranks blocked in MPI with no events pending");
         break;
       }
       throw std::runtime_error("workload deadlocked: no events but ranks unfinished");

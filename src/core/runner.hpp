@@ -9,6 +9,7 @@
 // Baytech cross-check, so measurement error is reproduced too.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -94,6 +95,21 @@ struct RunConfig {
   /// are bit-identical to a build without the fault layer.
   fault::FaultPlan faults;
 
+  /// Cooperative cancellation: when set, the run loop re-checks the flag
+  /// between event batches (every ~200k dispatched events) and converts a
+  /// raised flag into a structured failure ("run cancelled") instead of
+  /// finishing the simulation.  Checking is a pure wall-side read — no
+  /// event is scheduled and no RNG is drawn — so a run whose flag never
+  /// rises is bit-identical to one with no token attached.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Wall-clock ceiling for this run in seconds (0 = none), checked at the
+  /// same batch boundaries as `cancel`.  Exceeding it fails the run with a
+  /// structured "wall-clock deadline exceeded" — the defense against stuck
+  /// cells in long-running campaign services.  Like `cancel`, a run that
+  /// finishes inside the deadline is bit-identical to an unbounded run.
+  double wall_deadline_s = 0;
+
   /// Cluster template; node count is raised to the workload's rank count.
   machine::ClusterConfig cluster;
 
@@ -178,6 +194,8 @@ class RunConfigBuilder {
     return *this;
   }
   RunConfigBuilder& faults(fault::FaultPlan plan) { cfg_.faults = std::move(plan); return *this; }
+  RunConfigBuilder& cancel(const std::atomic<bool>* token) { cfg_.cancel = token; return *this; }
+  RunConfigBuilder& wall_deadline_s(double s) { cfg_.wall_deadline_s = s; return *this; }
   RunConfigBuilder& cluster(machine::ClusterConfig c) { cfg_.cluster = std::move(c); return *this; }
   RunConfigBuilder& slice_s(double s) { cfg_.slice_s = s; return *this; }
 

@@ -40,6 +40,10 @@ void FaultInjector::arm() {
   // the injector's private stream so the schedule is a pure function of
   // (plan, seed).
   for (const auto& h : plan_.hazards) {
+    // Defense in depth: RunConfig::validate() rejects non-positive MTBFs,
+    // but a hazard that slips through (hand-armed injector) must not spin
+    // forever generating zero-spaced arrivals.
+    if (h.mtbf_s <= 0) continue;
     double t = 0;
     while (true) {
       const double u = rng_.uniform(0.0, 1.0);

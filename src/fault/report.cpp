@@ -35,8 +35,8 @@ std::string FaultReport::summary() const {
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "costs: %.2f s checkpoint stall, %.2f s node downtime, %.2f s redo, "
-                "%lld DVS writes dropped\n",
-                checkpoint_stall_s, node_downtime_s, redo_s,
+                "%.2f s restart backoff, %lld DVS writes dropped\n",
+                checkpoint_stall_s, node_downtime_s, redo_s, daemon_backoff_s,
                 static_cast<long long>(dvs_requests_dropped));
   out += buf;
   if (run_failed) {

@@ -36,6 +36,12 @@ struct FaultReport {
   double checkpoint_stall_s = 0;  // summed over stalled nodes
   double node_downtime_s = 0;     // summed over crashed nodes
   double redo_s = 0;              // work re-executed after restarts
+  /// Cumulative watchdog restart backoff actually waited (summed over
+  /// nodes): with backoff b doubling per restart and N restarts taken,
+  /// each node contributes b * (2^N - 1).  The final give-up transition
+  /// records this total in its event detail, so the cost of the escalation
+  /// ladder is attributable even when the daemon never comes back.
+  double daemon_backoff_s = 0;
 
   // Outcome.
   bool run_failed = false;

@@ -76,10 +76,19 @@ void DaemonWatchdog::check_daemon() {
   std::snprintf(buf, sizeof buf, "daemon poll counter frozen for %.1f s", silent_s);
   record("daemon_wedge", telemetry::FaultPhase::Detected, buf);
   if (hooks_.restart && restarts_ < params_.max_restarts) {
+    // The interval for restart r (0-based) is b * 2^r, computed BEFORE the
+    // counter increments — reading restarts_ after ++ would double-report
+    // the wait.  The running total is accumulated here, at scheduling time,
+    // so the give-up transition below can report the backoff actually
+    // spent (b * (2^N - 1)), not the next never-taken interval.
     const double backoff =
         params_.restart_backoff_s * static_cast<double>(1LL << restarts_);
     ++restarts_;
-    if (report_ != nullptr) ++report_->daemon_restarts;
+    backoff_total_s_ += backoff;
+    if (report_ != nullptr) {
+      ++report_->daemon_restarts;
+      report_->daemon_backoff_s += backoff;
+    }
     restart_pending_ = true;
     engine_.schedule_in(sim::from_seconds(backoff), [this] {
       restart_pending_ = false;
@@ -91,7 +100,14 @@ void DaemonWatchdog::check_daemon() {
              "daemon restarted by watchdog");
     }, "watchdog.restart");
   } else {
-    enter_fallback("daemon restarts exhausted");
+    // Final give-up transition: record it with the cumulative backoff this
+    // node actually waited across the whole escalation ladder.
+    char why[160];
+    std::snprintf(why, sizeof why,
+                  "daemon restarts exhausted (%lld restarts, %.2f s cumulative "
+                  "backoff)",
+                  static_cast<long long>(restarts_), backoff_total_s_);
+    enter_fallback(why);
   }
 }
 

@@ -57,6 +57,10 @@ class DaemonWatchdog {
 
   bool in_fallback() const { return fallback_; }
   std::int64_t restarts() const { return restarts_; }
+  /// Cumulative restart backoff waited so far: the sum of the intervals
+  /// actually scheduled (b, 2b, 4b, ...), NOT the next doubled interval —
+  /// after N restarts this is b * (2^N - 1).
+  double backoff_total_s() const { return backoff_total_s_; }
 
   /// Black-box wiring: when set, entering fallback dumps the recorder (the
   /// last N causal steps that led here) into FaultReport::flight_recordings.
@@ -90,6 +94,7 @@ class DaemonWatchdog {
   bool restart_pending_ = false;
   bool daemon_wedged_ = false;
   std::int64_t restarts_ = 0;
+  double backoff_total_s_ = 0;
 
   // stuck-DVS detector
   int stuck_streak_ = 0;

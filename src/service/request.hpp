@@ -1,0 +1,69 @@
+// Campaign submission wire format: the JSON shape clients put on the
+// socket, resolved into an ExperimentSpec (workload names -> apps::npb,
+// strategy points -> one "strategy" axis) plus the fingerprint identity the
+// result cache is keyed by.
+//
+// Cache keys are a pure function of the *cell's* identity — the shared
+// run parameters plus one (workload, strategy) coordinate — so a cell hits
+// the cache no matter which request it arrives in: a 2-workload subset of
+// yesterday's 8-workload sweep re-runs nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "service/json.hpp"
+
+namespace pcd::service {
+
+/// One point on the request's strategy axis.  Exactly one control mode:
+/// `daemon` non-empty selects the CPUSPEED daemon ("v1.1" or "v1.2.1"),
+/// otherwise `static_mhz` is EXTERNAL static control (0 = boot default,
+/// i.e. full speed).
+struct StrategyPoint {
+  std::string label;
+  int static_mhz = 0;
+  std::string daemon;
+};
+
+/// A parsed campaign submission.  Field defaults are the wire defaults:
+/// omitting a field in the JSON means this value.
+struct SpecRequest {
+  std::vector<std::string> workloads;  // NPB code names (apps::npb_by_name)
+  double scale = 0.02;                 // workload scale factor
+  int trials = 1;
+  std::uint64_t seed = 1;
+  bool digests = true;                 // collect determinism digests
+  double slice_s = 0.05;
+  std::vector<StrategyPoint> strategies;  // empty = one full-speed point
+
+  // Robustness knobs (0 = use the service defaults).
+  double deadline_s = 0;  // per-run wall-clock ceiling
+  double budget_s = 0;    // whole-request wall-clock budget
+
+  /// Parses the submission fields out of a JSON object (unknown members are
+  /// ignored so the same object can carry the envelope's "op").  Returns
+  /// nullopt and fills `error` on a malformed field.
+  static std::optional<SpecRequest> from_json(const JsonValue& v, std::string* error);
+
+  /// The request as a wire object (round-trips through from_json).
+  JsonValue to_json() const;
+
+  /// Resolves workload names and builds the ExperimentSpec: workloads x one
+  /// "strategy" axis, digests per `digests`.  Returns nullopt and fills
+  /// `error` when a workload name is unknown or the list is empty.
+  std::optional<campaign::ExperimentSpec> to_spec(std::string* error) const;
+
+  /// Cache identity of one cell: FNV-1a over a canonical serialization of
+  /// the shared parameters (scale, trials, seed, digests, slice) plus the
+  /// (workload, strategy) coordinate — deliberately independent of which
+  /// other cells the request carried and of the robustness knobs (a tighter
+  /// deadline does not change what a completed cell computed).
+  std::uint64_t cell_key(const std::string& workload_label,
+                         const std::string& strategy_label) const;
+};
+
+}  // namespace pcd::service

@@ -12,8 +12,12 @@
 #include "apps/npb.hpp"
 #include "core/runner.hpp"
 #include "cpu/cpu.hpp"
+#include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "fault/report.hpp"
+#include "fault/watchdog.hpp"
+#include "machine/cluster.hpp"
+#include "machine/node.hpp"
 #include "net/network.hpp"
 #include "power/meters.hpp"
 #include "power/node_power.hpp"
@@ -413,6 +417,139 @@ TEST(FaultRunner, WatchdogRestartsWedgedDaemon) {
   EXPECT_GE(result.fault_report->daemon_restarts, 1);
   EXPECT_TRUE(report_mentions(*result.fault_report, "daemon_wedge", "detected"));
   EXPECT_TRUE(report_mentions(*result.fault_report, "daemon_wedge", "recovered"));
+}
+
+TEST(FaultRunner, WatchdogBackoffAccountingIsCumulativeAtGiveUp) {
+  // Regression for the restart-backoff ledger: a daemon that never comes
+  // back exhausts max_restarts with intervals b, 2b, 4b, so the report must
+  // carry b*(2^N - 1) — the backoff actually waited — not the next doubled
+  // interval the watchdog would have scheduled.
+  sim::Engine engine;
+  machine::Node node(engine, 0, machine::NodeConfig{}, sim::Rng(5));
+  fault::WatchdogParams params;  // defaults: backoff 0.5 s, max_restarts 3
+  params.check_interval_s = 0.25;
+  fault::FaultReport report;
+  fault::DaemonHooks hooks;
+  int restart_calls = 0;
+  hooks.polls = [] { return std::int64_t{7}; };  // frozen forever
+  hooks.restart = [&] { ++restart_calls; };      // no-op: stays wedged
+  hooks.expected_poll_interval_s = 0.25;
+  fault::DaemonWatchdog dog(engine, node, params, hooks, &report);
+  dog.start();
+  engine.run_until(sim::from_seconds(30));
+  dog.stop();
+
+  EXPECT_EQ(restart_calls, 3);
+  EXPECT_EQ(dog.restarts(), 3);
+  EXPECT_DOUBLE_EQ(dog.backoff_total_s(), 0.5 + 1.0 + 2.0);
+  EXPECT_EQ(report.daemon_restarts, 3);
+  EXPECT_DOUBLE_EQ(report.daemon_backoff_s, 3.5);
+  EXPECT_TRUE(dog.in_fallback());
+  bool gave_up = false;
+  for (const auto& e : report.events) {
+    if (e.detail.find("cumulative backoff") != std::string::npos) {
+      EXPECT_NE(e.detail.find("3 restarts"), std::string::npos);
+      EXPECT_NE(e.detail.find("3.50 s"), std::string::npos);
+      gave_up = true;
+    }
+  }
+  EXPECT_TRUE(gave_up);
+}
+
+// ---- Hazard and event-timing edge cases ------------------------------------
+
+TEST(FaultHazards, NonPositiveMtbfIsAStructuredConfigIssue) {
+  core::RunConfig cfg;
+  fault::HazardModel h;
+  h.mtbf_s = 0;
+  cfg.faults.hazards.push_back(h);
+  auto issues = cfg.validate();
+  ASSERT_FALSE(issues.empty());
+  bool flagged = false;
+  for (const auto& i : issues) {
+    if (i.field == "faults.hazards") flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+  cfg.faults.hazards[0].mtbf_s = -5;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(FaultHazards, HandArmedInjectorSkipsDegenerateMtbfWithoutSpinning) {
+  // A hazard that slips past validation (hand-armed injector) must neither
+  // inject anything nor loop forever sampling zero-length inter-arrivals.
+  sim::Engine engine;
+  machine::ClusterConfig cluster_cfg;
+  cluster_cfg.nodes = 2;
+  machine::Cluster cluster(engine, cluster_cfg);
+  fault::FaultPlan plan;
+  fault::HazardModel h;
+  h.mtbf_s = 0;
+  h.kind = fault::FaultKind::Straggler;
+  plan.hazards.push_back(h);
+  fault::FaultReport report;
+  fault::FaultInjector injector(engine, cluster, plan, sim::Rng(9), &report);
+  injector.arm();  // must return, not spin
+  engine.run();
+  injector.finalize();
+  EXPECT_EQ(report.injected, 0);
+}
+
+TEST(FaultRunner, FaultScheduledBeyondRunEndNeverFires) {
+  core::RunConfig cfg;
+  cfg.faults.events.push_back(fault::node_crash(1e6, 0));  // far past run end
+  const auto result = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_FALSE(result.failed);
+  ASSERT_TRUE(result.fault_report.has_value());
+  EXPECT_EQ(result.fault_report->injected, 0);
+  EXPECT_FALSE(result.fault_report->run_failed);
+
+  // And the armed-but-silent plan is still deterministic: replay is
+  // bit-identical.
+  const auto replay = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_DOUBLE_EQ(result.delay_s, replay.delay_s);
+  EXPECT_DOUBLE_EQ(result.energy_j, replay.energy_j);
+}
+
+TEST(FaultRunner, OverlappingCrashAndStragglerReplayDeterministically) {
+  // Two faults live on the same node at once — a throttled CPU that then
+  // loses power mid-outage — under checkpoint/restart.  The combination
+  // must survive and replay bit-identically.
+  core::RunConfig cfg;
+  cfg.faults.events.push_back(fault::straggler(0.3, 0, 0.5, /*duration_s=*/2.0));
+  cfg.faults.events.push_back(fault::node_crash(0.6, 0, /*boot_delay_s=*/0.4));
+  cfg.faults.resilience.checkpoint_interval_s = 0.25;
+  cfg.faults.resilience.checkpoint_cost_s = 0.02;
+  const auto a = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_FALSE(a.failed);
+  ASSERT_TRUE(a.fault_report.has_value());
+  EXPECT_EQ(a.fault_report->injected, 2);
+  EXPECT_EQ(a.fault_report->node_reboots, 1);
+  const auto b = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_DOUBLE_EQ(a.delay_s, b.delay_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.dvs_transitions, b.dvs_transitions);
+}
+
+TEST(FaultRunner, RebootRacingATimedFaultClearIsDeterministic) {
+  // A stuck-DVS window (0.4 s .. 1.0 s) straddles the crash at 0.5 s and
+  // clears while the node is still dark (reboot lands ~0.9 s + redo).  The
+  // clear must not resurrect state on the downed node, and the interleaving
+  // replays bit-identically.
+  core::RunConfig cfg;
+  cfg.daemon = core::CpuspeedParams{};
+  cfg.faults.events.push_back(fault::stuck_dvs(0.4, 0, /*duration_s=*/0.6));
+  cfg.faults.events.push_back(fault::node_crash(0.5, 0, /*boot_delay_s=*/0.4));
+  cfg.faults.resilience.checkpoint_interval_s = 0.25;
+  cfg.faults.resilience.checkpoint_cost_s = 0.02;
+  const auto a = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_FALSE(a.failed);
+  ASSERT_TRUE(a.fault_report.has_value());
+  EXPECT_EQ(a.fault_report->node_reboots, 1);
+  EXPECT_TRUE(report_mentions(*a.fault_report, "node_crash", "recovered"));
+  const auto b = core::run_workload(apps::make_cg(kTinyScale), cfg);
+  EXPECT_DOUBLE_EQ(a.delay_s, b.delay_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.net_collisions, b.net_collisions);
 }
 
 // ---- Node crash: structured failure vs. checkpoint/restart -----------------

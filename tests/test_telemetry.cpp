@@ -13,6 +13,7 @@
 #include "apps/npb.hpp"
 #include "core/runner.hpp"
 #include "core/strategies.hpp"
+#include "service/json.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/hub.hpp"
@@ -423,146 +424,10 @@ TEST(RunnerTelemetry, TelemetryDoesNotPerturbTheRun) {
 }
 
 // ---- strict JSON validation of the Chrome/Perfetto export -------------------
-
-namespace {
-
-// Strict recursive-descent JSON parser (RFC 8259 subset, no extensions):
-// validates the whole grammar, not just brace balance.  Returns false on
-// the first violation and reports its position.
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& s) : s_(s) {}
-
-  bool parse() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
-  std::size_t error_pos() const { return pos_; }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const unsigned char c = s_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (c < 0x20) return false;  // raw control character
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        switch (s_[pos_]) {
-          case '"': case '\\': case '/': case 'b': case 'f':
-          case 'n': case 'r': case 't': ++pos_; break;
-          case 'u': {
-            ++pos_;
-            for (int i = 0; i < 4; ++i, ++pos_) {
-              if (pos_ >= s_.size() || !std::isxdigit(
-                      static_cast<unsigned char>(s_[pos_]))) return false;
-            }
-            break;
-          }
-          default: return false;
-        }
-      } else {
-        ++pos_;
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (peek() == '0') { ++pos_; }
-    else if (std::isdigit(static_cast<unsigned char>(peek()))) {
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    } else {
-      return false;
-    }
-    if (peek() == '.') {
-      ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t n = std::strlen(word);
-    if (s_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
+//
+// The exporter output is validated with the campaign service's strict JSON
+// parser (service/json.hpp) — one RFC 8259 implementation shared by the
+// wire protocol, the result cache, and these tests.
 
 TEST(Exporters, ProfiledRunChromeJsonParsesStrictly) {
   core::RunConfig cfg;
@@ -575,10 +440,10 @@ TEST(Exporters, ProfiledRunChromeJsonParsesStrictly) {
   const std::string& json = r.telemetry->chrome_trace_json;
   ASSERT_FALSE(json.empty());
 
-  JsonParser parser(json);
-  EXPECT_TRUE(parser.parse())
-      << "JSON violation near offset " << parser.error_pos() << ": ..."
-      << json.substr(parser.error_pos() > 40 ? parser.error_pos() - 40 : 0, 80);
+  pcd::service::JsonError err;
+  EXPECT_TRUE(pcd::service::json_parse(json, &err).has_value())
+      << "JSON violation near offset " << err.pos << " (" << err.message
+      << "): ..." << json.substr(err.pos > 40 ? err.pos - 40 : 0, 80);
 
   // Profiled slices carry energy; message edges appear as flow events.
   EXPECT_NE(json.find("\"energy_j\":"), std::string::npos);
