@@ -38,48 +38,56 @@ int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
   const auto workload = apps::make_cg(scale);
 
-  core::RunConfig plain;
-  const auto baseline = core::run_workload(workload, plain);
+  const auto baseline =
+      core::run_workload(workload, core::RunConfigBuilder().build());
   print_outcome("no DVS", baseline, baseline);
 
-  core::RunConfig daemon_cfg;
-  daemon_cfg.daemon = core::CpuspeedParams{};
-  daemon_cfg.daemon->interval_s = 0.2;
+  core::CpuspeedParams daemon_params;
+  daemon_params.interval_s = 0.2;
+  const auto daemon_cfg = core::RunConfigBuilder().daemon(daemon_params).build();
   const auto healthy = core::run_workload(workload, daemon_cfg);
   print_outcome("CPUSPEED daemon, healthy", healthy, baseline);
 
   // -- Scenario 1: every DVS driver wedges for 1 s at t = 0.3 s ------------
-  core::RunConfig stuck_cfg = daemon_cfg;
+  fault::FaultPlan stuck_plan;
   for (int n = 0; n < workload.ranks; ++n) {
-    stuck_cfg.faults.events.push_back(fault::stuck_dvs(0.3, n, 1.0));
+    stuck_plan.events.push_back(fault::stuck_dvs(0.3, n, 1.0));
   }
-  const auto unguarded = core::run_workload(workload, stuck_cfg);
+  const auto unguarded = core::run_workload(
+      workload, core::RunConfigBuilder(daemon_cfg).faults(stuck_plan).build());
   print_outcome("stuck DVS, no watchdog", unguarded, baseline);
 
-  core::RunConfig guarded_cfg = stuck_cfg;
-  guarded_cfg.telemetry.enabled = true;
-  guarded_cfg.faults.resilience.watchdog = true;
-  guarded_cfg.faults.resilience.watchdog_params.check_interval_s = 0.25;
-  guarded_cfg.faults.resilience.watchdog_params.stuck_checks_before_fallback = 2;
-  const auto guarded = core::run_workload(workload, guarded_cfg);
+  fault::FaultPlan guarded_plan = stuck_plan;
+  guarded_plan.resilience.watchdog = true;
+  guarded_plan.resilience.watchdog_params.check_interval_s = 0.25;
+  guarded_plan.resilience.watchdog_params.stuck_checks_before_fallback = 2;
+  telemetry::TelemetryOptions watchdog_telemetry;
+  watchdog_telemetry.enabled = true;
+  const auto guarded = core::run_workload(workload,
+                                          core::RunConfigBuilder(daemon_cfg)
+                                              .faults(guarded_plan)
+                                              .telemetry(watchdog_telemetry)
+                                              .build());
   print_outcome("stuck DVS + watchdog", guarded, baseline);
   if (guarded.fault_report) {
     std::printf("\n%s\n", guarded.fault_report->summary().c_str());
   }
 
   // -- Scenario 2: node 0 crashes, nothing armed ---------------------------
-  core::RunConfig crash_cfg = daemon_cfg;
-  crash_cfg.faults.events.push_back(fault::node_crash(0.6, 0));
-  crash_cfg.faults.resilience.mpi_timeout_s = 5;
-  const auto lost = core::run_workload(workload, crash_cfg);
+  fault::FaultPlan crash_plan;
+  crash_plan.events.push_back(fault::node_crash(0.6, 0));
+  crash_plan.resilience.mpi_timeout_s = 5;
+  const auto lost = core::run_workload(
+      workload, core::RunConfigBuilder(daemon_cfg).faults(crash_plan).build());
   print_outcome("node crash, no C/R", lost, baseline);
 
   // -- Scenario 3: same crash with checkpoint/restart ----------------------
-  core::RunConfig ckpt_cfg = crash_cfg;
-  ckpt_cfg.faults.events.back() = fault::node_crash(0.6, 0, /*boot_delay_s=*/0.5);
-  ckpt_cfg.faults.resilience.checkpoint_interval_s = 0.5;
-  ckpt_cfg.faults.resilience.checkpoint_cost_s = 0.05;
-  const auto survived = core::run_workload(workload, ckpt_cfg);
+  fault::FaultPlan ckpt_plan = crash_plan;
+  ckpt_plan.events.back() = fault::node_crash(0.6, 0, /*boot_delay_s=*/0.5);
+  ckpt_plan.resilience.checkpoint_interval_s = 0.5;
+  ckpt_plan.resilience.checkpoint_cost_s = 0.05;
+  const auto survived = core::run_workload(
+      workload, core::RunConfigBuilder(daemon_cfg).faults(ckpt_plan).build());
   print_outcome("node crash + checkpoint/restart", survived, baseline);
   if (survived.fault_report) {
     std::printf("\n%s\n", survived.fault_report->summary().c_str());

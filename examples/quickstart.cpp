@@ -36,27 +36,27 @@ int main(int argc, char** argv) {
   };
 
   // Baseline: no DVS (all nodes at the highest frequency).
-  core::RunConfig base;
-  const auto baseline = core::run_workload(*workload, base);
+  const auto baseline =
+      core::run_workload(*workload, core::RunConfigBuilder().build());
   report("baseline (1400 MHz)", baseline);
 
   // EXTERNAL: a single static frequency on every node.
   for (int mhz : {1200, 1000, 800, 600}) {
-    core::RunConfig c;
-    c.static_mhz = mhz;
     char label[32];
     std::snprintf(label, sizeof label, "external (%d MHz)", mhz);
-    report(label, core::run_workload(*workload, c));
+    report(label, core::run_workload(
+                      *workload, core::RunConfigBuilder().static_mhz(mhz).build()));
   }
 
   // CPUSPEED daemon.
-  core::RunConfig auto_cfg;
-  auto_cfg.daemon = core::CpuspeedParams::v1_2_1();
+  const auto auto_cfg =
+      core::RunConfigBuilder().daemon(core::CpuspeedParams::v1_2_1()).build();
   report("cpuspeed 1.2.1 (auto)", core::run_workload(*workload, auto_cfg));
 
   // INTERNAL: phase-based scheduling (the paper's FT recipe).
-  core::RunConfig internal_cfg;
-  internal_cfg.hooks = core::internal_phase_hooks(1400, 600);
+  const auto internal_cfg = core::RunConfigBuilder()
+                                .hooks(core::internal_phase_hooks(1400, 600))
+                                .build();
   report("internal (1400/600)", core::run_workload(*workload, internal_cfg));
 
   std::printf("\nNormalize against the baseline row to compare with the paper's "

@@ -11,6 +11,7 @@
 #include "fault/injector.hpp"
 #include "fault/watchdog.hpp"
 #include "mpi/comm.hpp"
+#include "net/network.hpp"
 #include "sim/process.hpp"
 #include "telemetry/export.hpp"
 
@@ -159,6 +160,32 @@ std::vector<ConfigIssue> RunConfig::validate() const {
     issues.push_back({"faults.resilience",
                       "checkpoint interval/cost cannot be negative"});
   }
+  for (auto& [field, message] :
+       net::Network::validate_params(cluster.network, "cluster.network")) {
+    issues.push_back({field, message});
+  }
+  if (shards <= 0) {
+    issues.push_back({"shards", "shard count must be positive, got " +
+                                    std::to_string(shards)});
+  } else if (shards > 1) {
+    // The sharded path supports the measurement core (strategies, hooks,
+    // digests); observation layers that assume one engine are rejected
+    // up front rather than silently misbehaving across shard boundaries.
+    const char* why = " is not supported with shards > 1 (single-engine "
+                      "observation layer); run it at --shards 1";
+    if (collect_trace) issues.push_back({"collect_trace", std::string("trace collection") + why});
+    if (profile) issues.push_back({"profile", std::string("energy profiling") + why});
+    if (use_meters) issues.push_back({"use_meters", std::string("the ACPI/Baytech meter protocol") + why});
+    if (telemetry.enabled) issues.push_back({"telemetry", std::string("the telemetry layer") + why});
+    if (faults.active()) issues.push_back({"faults", std::string("fault injection") + why});
+    if (determinism.flight_recorder || determinism.capture() ||
+        determinism.perturb_seq != 0) {
+      issues.push_back({"determinism",
+                        "only the digest tier of determinism observability "
+                        "is supported with shards > 1 (per-event capture and "
+                        "perturbation assume one engine)"});
+    }
+  }
   return issues;
 }
 
@@ -170,9 +197,19 @@ RunConfig RunConfigBuilder::build() const {
   return cfg_;
 }
 
+// sharded_runner.cpp — the N-shard driver behind RunConfig::shards.
+RunResult run_workload_sharded(const apps::Workload& workload,
+                               const RunConfig& config, int shards);
+
 RunResult run_workload(const apps::Workload& workload, const RunConfig& config) {
   if (auto issues = config.validate(); !issues.empty()) {
     throw std::invalid_argument("invalid RunConfig: " + describe(issues));
+  }
+  // Shards are clamped to the rank count; an effective count of 1 falls
+  // through to the classic single-engine path below, bit-identical to a
+  // config that never mentioned shards.
+  if (const int s = std::min(config.shards, workload.ranks); s > 1) {
+    return run_workload_sharded(workload, config, s);
   }
   sim::Engine engine;
 

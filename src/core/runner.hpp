@@ -116,6 +116,18 @@ struct RunConfig {
   /// Compute-phase slice length (see AppContext).
   double slice_s = 0.050;
 
+  /// Parallel sharding (DESIGN.md §3.14).  1 (the default) runs the
+  /// single-engine path — bit-identical to every release before sharding
+  /// existed.  N > 1 partitions the cluster into N per-shard engines
+  /// advancing under conservative lookahead derived from
+  /// Network::min_latency(); results are deterministic across repetitions
+  /// at any fixed shard count, but event interleaving (and therefore digest
+  /// roots) legitimately differs between different shard counts.  The
+  /// effective count is clamped to the workload's rank count.  validate()
+  /// rejects non-positive values and single-engine observation layers
+  /// (trace/profile/meters/telemetry/faults) combined with shards > 1.
+  int shards = 1;
+
   /// Checks the configuration for contradictions and returns every problem
   /// found (empty = valid).  `run_workload` calls this and refuses to start
   /// on a non-empty list, so a daemon+predictor conflict or a negative
@@ -198,6 +210,15 @@ class RunConfigBuilder {
   RunConfigBuilder& wall_deadline_s(double s) { cfg_.wall_deadline_s = s; return *this; }
   RunConfigBuilder& cluster(machine::ClusterConfig c) { cfg_.cluster = std::move(c); return *this; }
   RunConfigBuilder& slice_s(double s) { cfg_.slice_s = s; return *this; }
+  RunConfigBuilder& shards(int n) { cfg_.shards = n; return *this; }
+
+  /// Mutable access to the cluster/topology template, so call sites can
+  /// adjust node counts or network parameters without abandoning the fluent
+  /// chain:  RunConfigBuilder(base).shards(4).topology().nodes = 64;
+  /// followed by more setters via a fresh reference.  The const overload
+  /// supports inspection before build().
+  machine::ClusterConfig& topology() { return cfg_.cluster; }
+  const machine::ClusterConfig& topology() const { return cfg_.cluster; }
 
   /// The issues `build()` would throw on (empty = valid).
   std::vector<ConfigIssue> issues() const { return cfg_.validate(); }

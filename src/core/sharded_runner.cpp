@@ -1,0 +1,278 @@
+// The sharded run_workload path (DESIGN.md §3.14): drives N ShardedEngine
+// shards through conservative-lookahead windows instead of one Engine.
+//
+// run_workload dispatches here when min(config.shards, workload.ranks) > 1;
+// validate() has already rejected the single-engine observation layers
+// (trace, profile, meters, telemetry, faults, non-digest determinism), so
+// this driver only carries the measurement core: cluster construction,
+// DVS strategies (static / CPUSPEED daemon / phase predictor), INTERNAL
+// hooks, the MPI workload itself, and the digest tier of determinism
+// observability (per-shard digests merged by telemetry::merge_digests).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "machine/partition.hpp"
+#include "mpi/sharded_comm.hpp"
+#include "sim/process.hpp"
+#include "sim/sharded.hpp"
+#include "telemetry/determinism.hpp"
+
+namespace pcd::core {
+
+namespace {
+
+struct ShardDone {
+  bool done = false;
+  sim::SimTime t_end = 0;
+  double energy_end = 0;
+};
+
+// Per-shard completion watcher: joins the shard's rank processes, snapshots
+// the shard clock/energy at its last completion, then stops the shard's
+// daemons so no later poll advances that shard past the measurement window.
+sim::Process shard_watcher(std::vector<sim::Process>& ranks, sim::Engine& engine,
+                           machine::Cluster& cluster,
+                           std::vector<std::function<void()>>& stoppers,
+                           ShardDone* out) {
+  for (auto& p : ranks) co_await p;
+  out->t_end = engine.now();
+  out->energy_end = cluster.total_energy_joules();
+  for (auto& stop : stoppers) stop();
+  out->done = true;
+}
+
+}  // namespace
+
+RunResult run_workload_sharded(const apps::Workload& workload,
+                               const RunConfig& config, int shards) {
+  sim::ShardedEngine engines(shards, config.cluster.network.latency);
+
+  // Digest-tier determinism: one collector per shard.  The constructor's
+  // RNG install covers only this (driver) thread and stacking N of them
+  // would chain dangling restores, so each collector releases it and the
+  // engine re-installs the stream on whichever thread runs the shard's
+  // windows.  Driver-thread construction draws are therefore not folded
+  // into the RNG stream at shards > 1 — the event/power/MPI streams still
+  // cover construction, and multi-shard digests are a different (per-count
+  // deterministic) interleaving anyway, with no 1-shard identity to hold.
+  std::vector<std::unique_ptr<telemetry::DeterminismCollector>> dets;
+  if (config.determinism.any()) {
+    dets.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      dets.push_back(std::make_unique<telemetry::DeterminismCollector>(
+          engines.shard(s), config.determinism));
+      dets.back()->release_rng();
+      engines.set_rng_digest(s, dets.back()->rng_stream());
+    }
+  }
+
+  const auto plan = machine::ShardPlan::contiguous(workload.ranks, shards);
+  machine::ClusterConfig cc = config.cluster;
+  cc.seed = config.seed * 0x9e3779b97f4a7c15ULL + 0x1234567;  // as unsharded
+  auto clusters = machine::build_shard_clusters(engines, cc, plan);
+
+  if (!dets.empty()) {
+    for (int s = 0; s < shards; ++s) {
+      for (int i = 0; i < clusters[static_cast<std::size_t>(s)]->size(); ++i) {
+        // Nodes fold under their *global* id, so the per-shard power streams
+        // name the same machine the rank numbering does.
+        clusters[static_cast<std::size_t>(s)]->node(i).power().set_digest(
+            dets[static_cast<std::size_t>(s)]->power_stream(),
+            plan.global_of(s, i));
+      }
+    }
+  }
+
+  // --- strategy setup (serial, before any parallel window) ---
+  if (config.static_mhz != 0) {
+    for (int s = 0; s < shards; ++s) {
+      clusters[static_cast<std::size_t>(s)]->set_all_cpuspeed(config.static_mhz);
+      engines.shard(s).run_until(engines.shard(s).now() + sim::kMillisecond);
+    }
+  }
+
+  std::vector<std::unique_ptr<CpuspeedDaemon>> daemons;
+  std::vector<std::unique_ptr<PhasePredictorDaemon>> predictors;
+  std::vector<std::vector<std::function<void()>>> stoppers(
+      static_cast<std::size_t>(shards));
+  if (config.daemon.has_value()) {
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      auto stagger_rng = cluster.rng_stream();
+      for (int i = 0; i < cluster.size(); ++i) {
+        const auto offset = static_cast<sim::SimDuration>(
+            stagger_rng.uniform(0.0, config.daemon->interval_s) * 1e9);
+        daemons.push_back(std::make_unique<CpuspeedDaemon>(
+            engines.shard(s), cluster.node(i), *config.daemon, offset));
+        daemons.back()->start();
+        stoppers[static_cast<std::size_t>(s)].push_back(
+            [d = daemons.back().get()] { d->stop(); });
+      }
+    }
+  }
+  if (config.predictor.has_value()) {
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      auto stagger_rng = cluster.rng_stream();
+      for (int i = 0; i < cluster.size(); ++i) {
+        const auto offset = static_cast<sim::SimDuration>(
+            stagger_rng.uniform(0.0, config.predictor->interval_s) * 1e9);
+        predictors.push_back(std::make_unique<PhasePredictorDaemon>(
+            engines.shard(s), cluster.node(i), *config.predictor, offset));
+        predictors.back()->start();
+        stoppers[static_cast<std::size_t>(s)].push_back(
+            [d = predictors.back().get()] { d->stop(); });
+      }
+    }
+  }
+
+  std::vector<machine::Cluster*> cluster_ptrs;
+  cluster_ptrs.reserve(clusters.size());
+  for (auto& c : clusters) cluster_ptrs.push_back(c.get());
+  mpi::ShardedComm comm(engines, cluster_ptrs, plan);
+  if (!dets.empty()) {
+    for (int s = 0; s < shards; ++s) {
+      comm.set_digest(s, dets[static_cast<std::size_t>(s)]->mpi_stream());
+    }
+  }
+
+  apps::AppContext ctx;
+  ctx.comm = &comm;
+  ctx.hooks = &config.hooks;
+  ctx.slice_s = config.slice_s;
+
+  // --- launch ---
+  sim::SimTime t_start = 0;
+  for (int s = 0; s < shards; ++s) {
+    t_start = std::max(t_start, engines.shard(s).now());
+  }
+  std::vector<double> e_start(static_cast<std::size_t>(shards), 0);
+  for (int s = 0; s < shards; ++s) {
+    e_start[static_cast<std::size_t>(s)] =
+        clusters[static_cast<std::size_t>(s)]->total_energy_joules();
+  }
+
+  std::vector<std::vector<sim::Process>> shard_ranks(
+      static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shard_ranks[static_cast<std::size_t>(s)].reserve(
+        static_cast<std::size_t>(plan.count(s)));
+  }
+  for (int r = 0; r < workload.ranks; ++r) {
+    const int s = plan.shard_of(r);
+    shard_ranks[static_cast<std::size_t>(s)].push_back(
+        sim::spawn(engines.shard(s), workload.make_rank(ctx, r)));
+  }
+  std::vector<ShardDone> done(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    sim::spawn(engines.shard(s),
+               shard_watcher(shard_ranks[static_cast<std::size_t>(s)],
+                             engines.shard(s), *clusters[static_cast<std::size_t>(s)],
+                             stoppers[static_cast<std::size_t>(s)],
+                             &done[static_cast<std::size_t>(s)]));
+  }
+
+  // --- run windows; cancel/deadline/completion checks at every barrier ---
+  bool aborted = false;
+  std::string abort_why;
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto on_barrier = [&](sim::SimTime) -> bool {
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      aborted = true;
+      abort_why = "run cancelled by caller";
+      return false;
+    }
+    if (config.wall_deadline_s > 0) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count();
+      if (elapsed > config.wall_deadline_s) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "wall-clock deadline exceeded: %.2f s elapsed against a "
+                      "%.2f s budget",
+                      elapsed, config.wall_deadline_s);
+        aborted = true;
+        abort_why = buf;
+        return false;
+      }
+    }
+    for (const auto& d : done) {
+      if (!d.done) return true;
+    }
+    return false;  // every shard finished — stop promptly
+  };
+  engines.run(sim::ShardedEngine::kNoLimit, on_barrier);
+
+  bool all_done = true;
+  for (const auto& d : done) all_done = all_done && d.done;
+  if (!all_done && !aborted) {
+    // Queues drained with ranks still suspended: same condition the
+    // unsharded driver reports as a deadlock (no fault layer here).
+    throw std::runtime_error(
+        "workload deadlocked: no events but ranks unfinished");
+  }
+  if (aborted) {
+    for (int s = 0; s < shards; ++s) {
+      auto& d = done[static_cast<std::size_t>(s)];
+      if (d.done) continue;
+      d.t_end = engines.shard(s).now();
+      d.energy_end = clusters[static_cast<std::size_t>(s)]->total_energy_joules();
+      for (auto& stop : stoppers[static_cast<std::size_t>(s)]) stop();
+      d.done = true;
+    }
+  }
+
+  // --- assemble the result ---
+  sim::SimTime t_end = t_start;
+  RunResult result;
+  result.workload = workload.name;
+  result.failed = aborted;
+  result.failure = abort_why;
+  for (int s = 0; s < shards; ++s) {
+    const auto& d = done[static_cast<std::size_t>(s)];
+    t_end = std::max(t_end, d.t_end);
+    result.energy_j += d.energy_end - e_start[static_cast<std::size_t>(s)];
+  }
+  result.delay_s = sim::to_seconds(t_end - t_start);
+  for (int s = 0; s < shards; ++s) {
+    auto& cluster = *clusters[static_cast<std::size_t>(s)];
+    for (int i = 0; i < cluster.size(); ++i) {
+      result.dvs_transitions += cluster.node(i).cpu().stats().transitions;
+      result.mean_utilization += cluster.node(i).cpu().busy_weighted_ns() /
+                                 static_cast<double>(t_end - t_start) /
+                                 workload.ranks;
+    }
+    result.net_collisions += cluster.network().stats().collisions;
+  }
+  result.messages = comm.stats().messages;
+
+  if (!dets.empty()) {
+    std::vector<telemetry::RunDigest> parts;
+    parts.reserve(dets.size());
+    for (auto& det : dets) {
+      parts.push_back(det->take_capture().digest);
+      det->detach();
+    }
+    telemetry::RunCapture capture;
+    capture.digest = telemetry::merge_digests(parts);
+    result.determinism = std::move(capture);
+  }
+
+  // Aborted runs leave ranks suspended inside MPI waits; their frames hold
+  // RAII guards over cluster objects, so destroy them while the clusters
+  // (declared above, destroyed first) are still alive.
+  for (int s = 0; s < shards; ++s) {
+    engines.shard(s).destroy_suspended_frames();
+  }
+  return result;
+}
+
+}  // namespace pcd::core

@@ -20,7 +20,7 @@ const char* to_string(CpuState s) {
   return "?";
 }
 
-Cpu::Cpu(sim::Engine& engine, OperatingPointTable table, CpuConfig config, sim::Rng rng)
+Cpu::Cpu(sim::Scheduler& engine, OperatingPointTable table, CpuConfig config, sim::Rng rng)
     : engine_(engine),
       table_(std::move(table)),
       config_(config),

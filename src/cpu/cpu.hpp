@@ -26,7 +26,7 @@
 
 #include "cpu/operating_point.hpp"
 #include "sim/callback.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -88,7 +88,7 @@ struct CpuStats {
 
 class Cpu {
  public:
-  Cpu(sim::Engine& engine, OperatingPointTable table, CpuConfig config, sim::Rng rng);
+  Cpu(sim::Scheduler& engine, OperatingPointTable table, CpuConfig config, sim::Rng rng);
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -152,7 +152,7 @@ class Cpu {
   /// Requests arriving mid-transition coalesce to the latest target.
   void set_frequency_mhz(int freq_mhz);
 
-  sim::Engine& engine() const { return engine_; }
+  sim::Scheduler& scheduler() const { return engine_; }
   int frequency_mhz() const { return table_.at(op_index_).freq_mhz; }
   std::size_t op_index() const { return op_index_; }
   bool transitioning() const { return transitioning_; }
@@ -261,7 +261,7 @@ class Cpu {
   double busy_weight(CpuState s) const;
   void notify() { if (listener_) listener_(); }
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   OperatingPointTable table_;
   CpuConfig config_;
   sim::Rng rng_;

@@ -10,7 +10,7 @@
 #include "cpu/cpu.hpp"
 #include "power/meters.hpp"
 #include "power/node_power.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/rng.hpp"
 #include "telemetry/hub.hpp"
 
@@ -25,7 +25,7 @@ struct NodeConfig {
 
 class Node {
  public:
-  Node(sim::Engine& engine, int id, const NodeConfig& config, sim::Rng rng)
+  Node(sim::Scheduler& engine, int id, const NodeConfig& config, sim::Rng rng)
       : id_(id),
         cpu_(engine, config.operating_points, config.cpu, rng.split()),
         power_(engine, cpu_, config.power),
@@ -55,7 +55,7 @@ class Node {
                     double utilization = std::numeric_limits<double>::quiet_NaN(),
                     std::string detail = {}) {
     if (telemetry_ != nullptr && mhz != cpu_.frequency_mhz()) {
-      telemetry_->record_decision({cpu_.engine().now(), id_, cpu_.frequency_mhz(),
+      telemetry_->record_decision({cpu_.scheduler().now(), id_, cpu_.frequency_mhz(),
                                    mhz, cause, utilization, std::move(detail)});
     }
     requested_mhz_ = mhz;
@@ -86,7 +86,7 @@ class Node {
     if (cpu_.offline()) return;
     cpu_.power_off();
     if (telemetry_ != nullptr) {
-      telemetry_->record_fault({cpu_.engine().now(), id_, "battery_depleted",
+      telemetry_->record_fault({cpu_.scheduler().now(), id_, "battery_depleted",
                                telemetry::FaultPhase::Detected,
                                "smart battery empty: node lost power"});
     }

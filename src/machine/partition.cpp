@@ -1,0 +1,63 @@
+#include "machine/partition.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pcd::machine {
+
+ShardPlan ShardPlan::contiguous(int total, int shards) {
+  if (total <= 0) {
+    throw std::invalid_argument("ShardPlan: total must be positive, got " +
+                                std::to_string(total));
+  }
+  if (shards <= 0) {
+    throw std::invalid_argument("ShardPlan: shard count must be positive, got " +
+                                std::to_string(shards));
+  }
+  if (shards > total) shards = total;
+
+  ShardPlan plan;
+  plan.loc.resize(static_cast<std::size_t>(total));
+  plan.first.resize(static_cast<std::size_t>(shards) + 1, 0);
+  const int base = total / shards;
+  const int extra = total % shards;
+  int g = 0;
+  for (int s = 0; s < shards; ++s) {
+    plan.first[static_cast<std::size_t>(s)] = g;
+    const int count = base + (s < extra ? 1 : 0);
+    for (int i = 0; i < count; ++i, ++g) {
+      plan.loc[static_cast<std::size_t>(g)] = {s, i};
+    }
+  }
+  plan.first[static_cast<std::size_t>(shards)] = g;
+  return plan;
+}
+
+std::uint64_t shard_seed(std::uint64_t base_seed, int shard) {
+  // splitmix64 of (seed, shard): decorrelated streams, stable across runs.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                    (static_cast<std::uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::unique_ptr<Cluster>> build_shard_clusters(
+    sim::ShardedEngine& engines, const ClusterConfig& config,
+    const ShardPlan& plan) {
+  if (plan.shards() > engines.shards()) {
+    throw std::invalid_argument(
+        "build_shard_clusters: plan has more shards than the engine");
+  }
+  std::vector<std::unique_ptr<Cluster>> clusters;
+  clusters.reserve(static_cast<std::size_t>(plan.shards()));
+  for (int s = 0; s < plan.shards(); ++s) {
+    ClusterConfig cc = config;
+    cc.nodes = plan.count(s);
+    cc.seed = shard_seed(config.seed, s);
+    clusters.push_back(std::make_unique<Cluster>(engines.shard(s), cc));
+  }
+  return clusters;
+}
+
+}  // namespace pcd::machine

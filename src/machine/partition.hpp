@@ -1,0 +1,64 @@
+// Shard-aware cluster construction (DESIGN.md §3.14).
+//
+// A sharded run splits the machine into S disjoint sub-clusters, one per
+// ShardedEngine shard: every node, its power models, and its slice of the
+// switch fabric live on exactly one shard and are touched by exactly one
+// worker thread.  ShardPlan is the pure partition arithmetic (contiguous
+// ranges, remainder spread over the leading shards) used consistently by
+// the runner, the MPI layer, and the benches; build_shard_clusters turns a
+// single ClusterConfig template into the per-shard machine::Cluster
+// instances with deterministically derived per-shard seeds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/cluster.hpp"
+#include "sim/sharded.hpp"
+
+namespace pcd::machine {
+
+/// Contiguous partition of `total` items over shards, plus both lookup
+/// directions.  Pure data: the same plan partitions ranks (mpi layer) and
+/// nodes (machine layer) — a sharded run uses one plan for both, so rank r
+/// is node `local(r)` of cluster `shard_of(r)`.
+struct ShardPlan {
+  struct Loc {
+    int shard = 0;
+    int local = 0;
+  };
+
+  std::vector<Loc> loc;             // global index -> (shard, local index)
+  std::vector<std::int64_t> first;  // shard -> first global index (size S+1)
+
+  int shards() const { return static_cast<int>(first.size()) - 1; }
+  int total() const { return static_cast<int>(loc.size()); }
+  int count(int shard) const {
+    return static_cast<int>(first.at(shard + 1) - first.at(shard));
+  }
+  int shard_of(int global) const { return loc.at(global).shard; }
+  int local_of(int global) const { return loc.at(global).local; }
+  int global_of(int shard, int local) const {
+    return static_cast<int>(first.at(shard)) + local;
+  }
+
+  /// Contiguous split: shard s gets total/S items, the first total%S shards
+  /// one extra.  `shards` is clamped to [1, total] so every shard is
+  /// non-empty.
+  static ShardPlan contiguous(int total, int shards);
+};
+
+/// Per-shard seed derivation: a pure function of (template seed, shard), so
+/// sharded runs are reproducible and shards draw decorrelated streams.
+std::uint64_t shard_seed(std::uint64_t base_seed, int shard);
+
+/// Builds one Cluster per shard of `plan` against the matching shard
+/// engine: shard s gets plan.count(s) nodes (overriding config.nodes) and
+/// seed shard_seed(config.seed, s).  plan.shards() must not exceed
+/// engines.shards().
+std::vector<std::unique_ptr<Cluster>> build_shard_clusters(
+    sim::ShardedEngine& engines, const ClusterConfig& config,
+    const ShardPlan& plan);
+
+}  // namespace pcd::machine

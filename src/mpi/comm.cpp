@@ -9,20 +9,18 @@ namespace pcd::mpi {
 namespace {
 
 bool envelope_matches(int want_src, int want_tag, int src, int tag) {
-  return (want_src == Comm::kAnySource || want_src == src) &&
-         (want_tag == Comm::kAnyTag || want_tag == tag);
+  return (want_src == CommBase::kAnySource || want_src == src) &&
+         (want_tag == CommBase::kAnyTag || want_tag == tag);
 }
 
 }  // namespace
 
 Comm::Comm(machine::Cluster& cluster, std::vector<int> node_ids, CostParams costs,
            trace::Tracer* tracer)
-    : cluster_(cluster),
+    : CommBase(costs, tracer),
+      cluster_(cluster),
       engine_(cluster.engine()),
-      node_ids_(std::move(node_ids)),
-      costs_(costs),
-      tracer_(tracer),
-      coll_seq_(node_ids_.size(), 0) {
+      node_ids_(std::move(node_ids)) {
   if (node_ids_.empty()) throw std::invalid_argument("communicator needs >= 1 rank");
   for (int id : node_ids_) {
     if (id < 0 || id >= cluster.size()) {
@@ -30,6 +28,7 @@ Comm::Comm(machine::Cluster& cluster, std::vector<int> node_ids, CostParams cost
     }
   }
   mailboxes_.resize(node_ids_.size());
+  init_ranks(size());
 }
 
 void Comm::note_match(int src, int dst, int tag, std::int64_t bytes) {
@@ -41,11 +40,11 @@ void Comm::note_match(int src, int dst, int tag, std::int64_t bytes) {
   digest_->fold_record(rec, 5);
 }
 
-double Comm::protocol_cycles(std::int64_t bytes) const {
+double CommBase::protocol_cycles(std::int64_t bytes) const {
   return costs_.per_msg_cycles + costs_.per_kb_cycles * (static_cast<double>(bytes) / 1024.0);
 }
 
-double Comm::speed_ratio(int rank) {
+double CommBase::speed_ratio(int rank) {
   auto& cpu = node(rank).cpu();
   return static_cast<double>(cpu.frequency_mhz()) / cpu.table().highest().freq_mhz;
 }
@@ -127,40 +126,40 @@ sim::Process Comm::recv_proc(int rank, int src, int tag, Request req) {
   req->done.set();
 }
 
-Comm::Request Comm::isend(int rank, int dst, int tag, std::int64_t bytes) {
+CommBase::Request Comm::isend(int rank, int dst, int tag, std::int64_t bytes) {
   assert(rank >= 0 && rank < size() && dst >= 0 && dst < size());
   auto req = std::make_shared<RequestState>(engine_);
   sim::spawn(engine_, send_proc(rank, dst, tag, bytes, req));
   return req;
 }
 
-Comm::Request Comm::irecv(int rank, int src, int tag) {
+CommBase::Request Comm::irecv(int rank, int src, int tag) {
   assert(rank >= 0 && rank < size());
   auto req = std::make_shared<RequestState>(engine_);
   sim::spawn(engine_, recv_proc(rank, src, tag, req));
   return req;
 }
 
-sim::Op<> Comm::wait_inner(int rank, Request req) {
+sim::Op<> CommBase::wait_inner(int rank, Request req) {
   if (!req->done.signaled()) {
     auto ws = node(rank).cpu().wait_scope();
     co_await req->done.wait();
   }
 }
 
-sim::Op<> Comm::wait(int rank, Request req) {
+sim::Op<> CommBase::wait(int rank, Request req) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Wait, "mpi_wait"));
   co_await wait_inner(rank, std::move(req));
 }
 
-sim::Op<> Comm::waitall(int rank, std::vector<Request> reqs) {
+sim::Op<> CommBase::waitall(int rank, std::vector<Request> reqs) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Wait, "mpi_waitall"));
   for (auto& r : reqs) co_await wait_inner(rank, r);
 }
 
-sim::Op<> Comm::send(int rank, int dst, int tag, std::int64_t bytes) {
+sim::Op<> CommBase::send(int rank, int dst, int tag, std::int64_t bytes) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
     sc.emplace(tracer_->scope(rank, trace::Cat::Send, "mpi_send", dst, bytes));
@@ -169,7 +168,7 @@ sim::Op<> Comm::send(int rank, int dst, int tag, std::int64_t bytes) {
   co_await wait_inner(rank, std::move(req));
 }
 
-sim::Op<std::int64_t> Comm::recv(int rank, int src, int tag) {
+sim::Op<std::int64_t> CommBase::recv(int rank, int src, int tag) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Recv, "mpi_recv", src));
   auto req = irecv(rank, src, tag);
@@ -178,7 +177,7 @@ sim::Op<std::int64_t> Comm::recv(int rank, int src, int tag) {
   co_return req->bytes;
 }
 
-sim::Op<std::int64_t> Comm::sendrecv(int rank, int dst, int send_tag,
+sim::Op<std::int64_t> CommBase::sendrecv(int rank, int dst, int send_tag,
                                      std::int64_t send_bytes, int src, int recv_tag) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
@@ -202,14 +201,14 @@ int coll_tag(int seq, int round) {
 
 }  // namespace
 
-sim::Op<> Comm::barrier(int rank) {
+sim::Op<> CommBase::barrier(int rank) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Collective, "mpi_barrier"));
   co_await barrier_body(rank, seq);
 }
 
-sim::Op<> Comm::barrier_body(int rank, int seq) {
+sim::Op<> CommBase::barrier_body(int rank, int seq) {
   // Dissemination barrier: log2(P) rounds of token exchange.
   const int p = size();
   int round = 0;
@@ -223,7 +222,7 @@ sim::Op<> Comm::barrier_body(int rank, int seq) {
   }
 }
 
-sim::Op<> Comm::bcast(int rank, int root, std::int64_t bytes) {
+sim::Op<> CommBase::bcast(int rank, int root, std::int64_t bytes) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
@@ -232,7 +231,7 @@ sim::Op<> Comm::bcast(int rank, int root, std::int64_t bytes) {
   co_await bcast_body(rank, root, bytes, seq);
 }
 
-sim::Op<> Comm::bcast_body(int rank, int root, std::int64_t bytes, int seq) {
+sim::Op<> CommBase::bcast_body(int rank, int root, std::int64_t bytes, int seq) {
   // Binomial tree (MPICH-1 style).
   const int p = size();
   const int relative = (rank - root + p) % p;
@@ -257,7 +256,7 @@ sim::Op<> Comm::bcast_body(int rank, int root, std::int64_t bytes, int seq) {
   }
 }
 
-sim::Op<> Comm::reduce(int rank, int root, std::int64_t bytes) {
+sim::Op<> CommBase::reduce(int rank, int root, std::int64_t bytes) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
@@ -266,7 +265,7 @@ sim::Op<> Comm::reduce(int rank, int root, std::int64_t bytes) {
   co_await reduce_body(rank, root, bytes, seq);
 }
 
-sim::Op<> Comm::reduce_body(int rank, int root, std::int64_t bytes, int seq) {
+sim::Op<> CommBase::reduce_body(int rank, int root, std::int64_t bytes, int seq) {
   // Reverse binomial tree; leaves send first.
   const int p = size();
   const int relative = (rank - root + p) % p;
@@ -288,7 +287,7 @@ sim::Op<> Comm::reduce_body(int rank, int root, std::int64_t bytes, int seq) {
   }
 }
 
-sim::Op<> Comm::allreduce(int rank, std::int64_t bytes) {
+sim::Op<> CommBase::allreduce(int rank, std::int64_t bytes) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
     sc.emplace(tracer_->scope(rank, trace::Cat::Collective, "mpi_allreduce", -1, bytes));
@@ -299,20 +298,20 @@ sim::Op<> Comm::allreduce(int rank, std::int64_t bytes) {
   co_await bcast_body(rank, 0, bytes, seq2);
 }
 
-sim::Op<> Comm::alltoall(int rank, std::int64_t bytes_per_pair) {
+sim::Op<> CommBase::alltoall(int rank, std::int64_t bytes_per_pair) {
   std::vector<std::int64_t> sizes(size(), bytes_per_pair);
   sizes[rank] = 0;
   co_await alltoallv(rank, std::move(sizes));
 }
 
-sim::Op<> Comm::alltoallv(int rank, std::vector<std::int64_t> bytes_to) {
+sim::Op<> CommBase::alltoallv(int rank, std::vector<std::int64_t> bytes_to) {
   if (static_cast<int>(bytes_to.size()) != size()) {
     throw std::invalid_argument("alltoallv: bytes_to.size() != communicator size");
   }
   return alltoallv_body(rank, std::move(bytes_to), /*burst=*/false);
 }
 
-sim::Op<> Comm::alltoallv_body(int rank, std::vector<std::int64_t> bytes_to,
+sim::Op<> CommBase::alltoallv_body(int rank, std::vector<std::int64_t> bytes_to,
                                bool burst) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
@@ -346,7 +345,7 @@ sim::Op<> Comm::alltoallv_body(int rank, std::vector<std::int64_t> bytes_to,
   }
 }
 
-sim::Op<> Comm::scatter(int rank, int root, std::int64_t bytes) {
+sim::Op<> CommBase::scatter(int rank, int root, std::int64_t bytes) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
@@ -366,7 +365,7 @@ sim::Op<> Comm::scatter(int rank, int root, std::int64_t bytes) {
   }
 }
 
-sim::Op<> Comm::gather(int rank, int root, std::int64_t bytes) {
+sim::Op<> CommBase::gather(int rank, int root, std::int64_t bytes) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
@@ -385,7 +384,7 @@ sim::Op<> Comm::gather(int rank, int root, std::int64_t bytes) {
   }
 }
 
-sim::Op<> Comm::reduce_scatter(int rank, std::int64_t bytes_per_rank) {
+sim::Op<> CommBase::reduce_scatter(int rank, std::int64_t bytes_per_rank) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {
     sc.emplace(tracer_->scope(rank, trace::Cat::Collective, "mpi_reduce_scatter", -1,
@@ -397,7 +396,7 @@ sim::Op<> Comm::reduce_scatter(int rank, std::int64_t bytes_per_rank) {
   co_await scatter(rank, 0, bytes_per_rank);
 }
 
-sim::Op<> Comm::alltoallv_burst(int rank, std::vector<std::int64_t> bytes_to) {
+sim::Op<> CommBase::alltoallv_burst(int rank, std::vector<std::int64_t> bytes_to) {
   // Validate eagerly (a coroutine body would capture the throw in the
   // promise instead of raising it at the call site).
   if (static_cast<int>(bytes_to.size()) != size()) {
@@ -406,7 +405,7 @@ sim::Op<> Comm::alltoallv_burst(int rank, std::vector<std::int64_t> bytes_to) {
   return alltoallv_body(rank, std::move(bytes_to), /*burst=*/true);
 }
 
-sim::Op<> Comm::allgather(int rank, std::int64_t bytes) {
+sim::Op<> CommBase::allgather(int rank, std::int64_t bytes) {
   const int seq = next_coll_seq(rank);
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) {

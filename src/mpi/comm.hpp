@@ -15,6 +15,15 @@
 // pairwise-exchange alltoall/alltoallv, ring allgather.  Each rank must
 // call collectives in the same order (SPMD), which the tag sequencing
 // relies on.
+//
+// The layer splits transport from algorithm: CommBase owns everything
+// expressible over nonblocking point-to-point — the blocking wrappers,
+// MPI_Wait semantics, and every collective — against two pure-virtual
+// verbs, isend and irecv.  Comm is the classic single-engine transport
+// (mailbox matching on one shared engine); mpi::ShardedComm
+// (sharded_comm.hpp) is the cross-shard transport.  Application and
+// strategy code takes CommBase&, so workloads and INTERNAL hooks run
+// unchanged on either.
 #pragma once
 
 #include <cstdint>
@@ -40,42 +49,42 @@ struct CommStats {
   std::int64_t bytes = 0;
 };
 
-class Comm {
+/// Transport-independent MPI surface: blocking wrappers and collectives
+/// composed over the derived class's isend/irecv.  All algorithm choices
+/// (dissemination barrier, binomial trees, pairwise exchange...) live
+/// here, so every transport exhibits the same traffic patterns.
+class CommBase {
  public:
   struct RequestState {
-    explicit RequestState(sim::Engine& e) : done(e) {}
+    explicit RequestState(sim::Scheduler& e) : done(e) {}
     sim::Event done;
     std::int64_t bytes = 0;
   };
   using Request = std::shared_ptr<RequestState>;
 
-  /// Creates a communicator over `ranks` nodes of the cluster; rank r runs
-  /// on cluster node `node_ids[r]`.
-  Comm(machine::Cluster& cluster, std::vector<int> node_ids, CostParams costs = {},
-       trace::Tracer* tracer = nullptr);
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
 
-  Comm(const Comm&) = delete;
-  Comm& operator=(const Comm&) = delete;
+  CommBase(const CommBase&) = delete;
+  CommBase& operator=(const CommBase&) = delete;
+  virtual ~CommBase() = default;
 
-  int size() const { return static_cast<int>(node_ids_.size()); }
-  machine::Node& node(int rank) { return cluster_.node(node_ids_.at(rank)); }
-  machine::Cluster& cluster() { return cluster_; }
-  const CommStats& stats() const { return stats_; }
+  virtual int size() const = 0;
+  /// The machine node rank `rank` runs on.
+  virtual machine::Node& node(int rank) = 0;
+  virtual CommStats stats() const = 0;
   trace::Tracer* tracer() { return tracer_; }
 
-  /// Determinism observability: while set, every envelope match folds one
-  /// record (t, src, dst, tag, bytes) into the stream at the instant the
-  /// send meets its receive — the communication-order digest compared by
-  /// tools/pcd_diff.  Null (the default) is zero-cost.
-  void set_digest(sim::DigestStream* digest) { digest_ = digest; }
-
-  // ---- point-to-point ----
+  // ---- point-to-point (transport-specific) ----
 
   /// Nonblocking send: protocol work + wire happen in the background; the
   /// returned request completes at delivery.  Tags must be < 2^20.
-  Request isend(int rank, int dst, int tag, std::int64_t bytes);
+  virtual Request isend(int rank, int dst, int tag, std::int64_t bytes) = 0;
   /// Nonblocking receive.
-  Request irecv(int rank, int src = kAnySource, int tag = kAnyTag);
+  virtual Request irecv(int rank, int src = kAnySource, int tag = kAnyTag) = 0;
+
+  // ---- blocking wrappers ----
+
   /// Blocks (WaitPoll) until the request completes.
   sim::Op<> wait(int rank, Request req);
   sim::Op<> waitall(int rank, std::vector<Request> reqs);
@@ -109,12 +118,61 @@ class Comm {
   /// Reduce + scatter of the result (`bytes` per rank).
   sim::Op<> reduce_scatter(int rank, std::int64_t bytes_per_rank);
 
-  static constexpr int kAnySource = -1;
-  static constexpr int kAnyTag = -1;
+ protected:
+  CommBase(CostParams costs, trace::Tracer* tracer)
+      : costs_(costs), tracer_(tracer) {}
+
+  /// Wait without opening a trace scope (collective internals).
+  sim::Op<> wait_inner(int rank, Request req);
+
+  double protocol_cycles(std::int64_t bytes) const;
+  double speed_ratio(int rank);
+  /// Per-rank collective sequence numbers (tag disambiguation).  Derived
+  /// constructors must call init_ranks() once the rank count is known.
+  void init_ranks(int n) { coll_seq_.assign(static_cast<std::size_t>(n), 0); }
+  int next_coll_seq(int rank) { return coll_seq_.at(rank)++; }
+
+  CostParams costs_;
+  trace::Tracer* tracer_;
+  CommStats stats_;
+
+ private:
+  // Collective bodies, parameterized by the per-call sequence number.
+  sim::Op<> barrier_body(int rank, int seq);
+  sim::Op<> bcast_body(int rank, int root, std::int64_t bytes, int seq);
+  sim::Op<> reduce_body(int rank, int root, std::int64_t bytes, int seq);
+  sim::Op<> alltoallv_body(int rank, std::vector<std::int64_t> bytes_to, bool burst);
+
+  std::vector<int> coll_seq_;
+};
+
+/// The single-engine transport: all ranks share one cluster/engine, and
+/// envelope matching is a direct mailbox rendezvous between sender and
+/// receiver coroutines.
+class Comm final : public CommBase {
+ public:
+  /// Creates a communicator over `ranks` nodes of the cluster; rank r runs
+  /// on cluster node `node_ids[r]`.
+  Comm(machine::Cluster& cluster, std::vector<int> node_ids, CostParams costs = {},
+       trace::Tracer* tracer = nullptr);
+
+  int size() const override { return static_cast<int>(node_ids_.size()); }
+  machine::Node& node(int rank) override { return cluster_.node(node_ids_.at(rank)); }
+  machine::Cluster& cluster() { return cluster_; }
+  CommStats stats() const override { return stats_; }
+
+  /// Determinism observability: while set, every envelope match folds one
+  /// record (t, src, dst, tag, bytes) into the stream at the instant the
+  /// send meets its receive — the communication-order digest compared by
+  /// tools/pcd_diff.  Null (the default) is zero-cost.
+  void set_digest(sim::DigestStream* digest) { digest_ = digest; }
+
+  Request isend(int rank, int dst, int tag, std::int64_t bytes) override;
+  Request irecv(int rank, int src = kAnySource, int tag = kAnyTag) override;
 
  private:
   struct SendMsg {
-    explicit SendMsg(sim::Engine& e) : recv_posted(e), delivered(e) {}
+    explicit SendMsg(sim::Scheduler& e) : recv_posted(e), delivered(e) {}
     int src = 0;
     int tag = 0;
     std::int64_t bytes = 0;
@@ -123,7 +181,7 @@ class Comm {
     sim::Event delivered;
   };
   struct RecvPost {
-    explicit RecvPost(sim::Engine& e) : matched(e) {}
+    explicit RecvPost(sim::Scheduler& e) : matched(e) {}
     int src = kAnySource;
     int tag = kAnyTag;
     std::shared_ptr<SendMsg> msg;
@@ -136,28 +194,13 @@ class Comm {
 
   sim::Process send_proc(int rank, int dst, int tag, std::int64_t bytes, Request req);
   sim::Process recv_proc(int rank, int src, int tag, Request req);
-  sim::Op<> wait_inner(int rank, Request req);  // no trace scope
-  sim::Op<> alltoallv_body(int rank, std::vector<std::int64_t> bytes_to, bool burst);
-
-  double protocol_cycles(std::int64_t bytes) const;
-  double speed_ratio(int rank);
   void note_match(int src, int dst, int tag, std::int64_t bytes);
-  int next_coll_seq(int rank) { return coll_seq_.at(rank)++; }
-
-  // Collective bodies, parameterized by the per-call sequence number.
-  sim::Op<> barrier_body(int rank, int seq);
-  sim::Op<> bcast_body(int rank, int root, std::int64_t bytes, int seq);
-  sim::Op<> reduce_body(int rank, int root, std::int64_t bytes, int seq);
 
   machine::Cluster& cluster_;
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::vector<int> node_ids_;
-  CostParams costs_;
-  trace::Tracer* tracer_;
   sim::DigestStream* digest_ = nullptr;
   std::vector<Mailbox> mailboxes_;  // indexed by destination rank
-  std::vector<int> coll_seq_;
-  CommStats stats_;
 };
 
 }  // namespace pcd::mpi

@@ -6,7 +6,7 @@
 
 namespace pcd::net {
 
-Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng rng,
+Network::Network(sim::Scheduler& engine, int nodes, NetworkParams params, sim::Rng rng,
                  sim::InlineFunction<void(int, int)> nic_activity)
     : engine_(engine),
       params_(params),
@@ -15,11 +15,30 @@ Network::Network(sim::Engine& engine, int nodes, NetworkParams params, sim::Rng 
       egress_(nodes),
       ingress_(nodes) {
   if (nodes <= 0) throw std::invalid_argument("network needs at least one node");
+  for (const auto& [field, message] : validate_params(params_)) {
+    throw std::invalid_argument(field + ": " + message);
+  }
   links_.reserve(nodes);
   for (int i = 0; i < nodes; ++i) {
     links_.push_back(std::make_unique<sim::Event>(engine_));
     links_.back()->set();  // links start up
   }
+}
+
+std::vector<std::pair<std::string, std::string>> Network::validate_params(
+    const NetworkParams& params, const std::string& prefix) {
+  std::vector<std::pair<std::string, std::string>> issues;
+  if (params.latency <= 0) {
+    issues.emplace_back(prefix + ".latency",
+                        "link latency must be strictly positive: a zero "
+                        "latency silently breaks conservative lookahead "
+                        "(min_latency() bounds cross-shard delivery)");
+  }
+  if (!(params.bandwidth_mbps > 0)) {
+    issues.emplace_back(prefix + ".bandwidth_mbps",
+                        "per-port bandwidth must be strictly positive");
+  }
+  return issues;
 }
 
 void Network::set_bandwidth_factor(double factor) {

@@ -28,7 +28,7 @@ NodePowerParams NodePowerParams::pentium_iii_server() {
   return p;
 }
 
-NodePowerModel::NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerParams params)
+NodePowerModel::NodePowerModel(sim::Scheduler& engine, cpu::Cpu& cpu, NodePowerParams params)
     : engine_(engine),
       cpu_(cpu),
       params_(params),

@@ -10,7 +10,7 @@
 
 #include "cpu/cpu.hpp"
 #include "power/cpu_power.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace pcd::power {
 
@@ -51,7 +51,7 @@ struct EnergyBreakdown {
 
 class NodePowerModel {
  public:
-  NodePowerModel(sim::Engine& engine, cpu::Cpu& cpu, NodePowerParams params);
+  NodePowerModel(sim::Scheduler& engine, cpu::Cpu& cpu, NodePowerParams params);
 
   NodePowerModel(const NodePowerModel&) = delete;
   NodePowerModel& operator=(const NodePowerModel&) = delete;
@@ -83,7 +83,7 @@ class NodePowerModel {
   void accrue() const;
   void note_step() const;
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   cpu::Cpu& cpu_;
   NodePowerParams params_;
   CpuPowerModel cpu_model_;

@@ -9,7 +9,7 @@
 // composes naturally inside rank processes with no heap-allocated join
 // state per call.  The awaiting coroutine owns the Op frame (RAII).
 //
-// Engine propagation: the child's promise learns the engine from its parent
+// Scheduler propagation: the child's promise learns the scheduler from its parent
 // at await time, so sim::delay() and friends work at any nesting depth.
 #pragma once
 
@@ -19,7 +19,7 @@
 #include <optional>
 #include <utility>
 
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace pcd::sim {
 
@@ -29,11 +29,11 @@ class [[nodiscard]] Op;
 namespace detail {
 
 struct OpPromiseBase {
-  Engine* engine_ptr = nullptr;
+  Scheduler* engine_ptr = nullptr;
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 
-  Engine* engine() const { return engine_ptr; }
+  Scheduler* engine() const { return engine_ptr; }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

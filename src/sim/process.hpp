@@ -8,7 +8,7 @@
 //   }
 //   sim::spawn(engine, rank_main(node, ...));
 //
-// Lifetime model: the coroutine frame is owned by the engine from spawn()
+// Lifetime model: the coroutine frame is owned by the scheduler from spawn()
 // until completion (it self-destroys at final suspend).  Process is a
 // move-only handle linked to the frame by a back-pointer in the promise:
 // completion copies the done flag and any exception into the handle, so the
@@ -28,7 +28,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace pcd::sim {
@@ -42,14 +42,14 @@ class Process {
   };
 
   struct promise_type {
-    Engine* engine_ptr = nullptr;
+    Scheduler* engine_ptr = nullptr;
     Process* owner = nullptr;  // the live handle, if any (kept current on move)
     std::shared_ptr<State> shared;  // created only by watch()
     std::exception_ptr exception;
     std::vector<std::coroutine_handle<>> waiters;
     std::uint32_t frame_slot = 0;
 
-    Engine* engine() const { return engine_ptr; }
+    Scheduler* engine() const { return engine_ptr; }
 
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -63,7 +63,7 @@ class Process {
         // wake joiners through the engine queue (preserving FIFO ordering at
         // the current timestamp), then self-destroy.
         promise_type& p = h.promise();
-        Engine* engine = p.engine_ptr;
+        Scheduler* engine = p.engine_ptr;
         std::exception_ptr ex = p.exception;
         auto waiters = std::move(p.waiters);
         if (p.owner != nullptr) {
@@ -149,7 +149,7 @@ class Process {
   }
 
  private:
-  friend Process spawn(Engine& engine, Process proc);
+  friend Process spawn(Scheduler& engine, Process proc);
 
   explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {
     handle_.promise().owner = this;
@@ -185,7 +185,7 @@ class Process {
 /// Launches a process: the coroutine body starts running at the engine's
 /// current time (as a queued event, so spawn order = run order).  Returns a
 /// handle usable for joining; the handle may be dropped for fire-and-forget.
-inline Process spawn(Engine& engine, Process proc) {
+inline Process spawn(Scheduler& engine, Process proc) {
   assert(proc.handle_ && !proc.started_ && "process already spawned");
   auto h = proc.handle_;
   h.promise().engine_ptr = &engine;
@@ -201,7 +201,7 @@ struct DelayAwaiter {
   bool await_ready() const { return dt <= 0; }
   template <typename Promise>
   void await_suspend(std::coroutine_handle<Promise> h) {
-    Engine* engine = h.promise().engine();
+    Scheduler* engine = h.promise().engine();
     engine->schedule_in(dt, [h]() mutable { h.resume(); }, "process.delay");
   }
   void await_resume() const {}
@@ -213,7 +213,7 @@ inline DelayAwaiter delay(SimDuration dt) { return DelayAwaiter{dt}; }
 /// on an already-set event does not suspend.  reset() re-arms it.
 class Event {
  public:
-  explicit Event(Engine& engine) : engine_(&engine) {}
+  explicit Event(Scheduler& engine) : engine_(&engine) {}
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
@@ -242,7 +242,7 @@ class Event {
   }
 
  private:
-  Engine* engine_;
+  Scheduler* engine_;
   bool signaled_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
 };
@@ -255,7 +255,7 @@ class Event {
 template <typename T>
 class Queue {
  public:
-  explicit Queue(Engine& engine) : engine_(&engine) {}
+  explicit Queue(Scheduler& engine) : engine_(&engine) {}
   Queue(const Queue&) = delete;
   Queue& operator=(const Queue&) = delete;
 
@@ -302,7 +302,7 @@ class Queue {
   PopAwaiter pop() { return PopAwaiter{this, std::nullopt, nullptr}; }
 
  private:
-  Engine* engine_;
+  Scheduler* engine_;
   std::deque<T> items_;
   std::vector<PopAwaiter*> waiters_;
 };

@@ -1,0 +1,96 @@
+// The minimal scheduling surface shared by every event-driven model class.
+//
+// Model code — CPU executors, power integrators, daemons, the network —
+// needs exactly five verbs from the simulation core: read the clock,
+// schedule at/after a time, schedule a recurrence, and cancel.  Scheduler
+// names that surface as an abstract interface so the same model code runs
+// unchanged against a single Engine or against one shard of a
+// ShardedEngine (DESIGN.md §3.14).  Driver-side concerns — run loops,
+// determinism hooks, the perturbation debug knob — stay on the concrete
+// Engine; they are not part of the model-facing contract.
+//
+// The interface also carries the small coroutine-support surface
+// (frame registry + orphan-exception post) that sim::Process, sim::Event,
+// and sim::Queue need, so process-oriented model code is equally
+// scheduler-agnostic.
+//
+// Engine is `final`: calls made through a concrete Engine& (the event-core
+// hot paths and benches) devirtualize; only calls through Scheduler& pay
+// the virtual dispatch, and those sit next to an event-pool allocation
+// that dwarfs it.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "sim/callback.hpp"
+#include "sim/time.hpp"
+
+namespace pcd::sim {
+
+/// Handle to a scheduled event; can be used to cancel it before it fires.
+/// A default-constructed id is never a live event (`valid()` is false and
+/// `cancel` rejects it explicitly).  The generation tag makes ids
+/// single-use: once the event fires or is cancelled, the slot's generation
+/// advances and stale ids can no longer cancel an unrelated newer event.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+
+  bool valid() const { return gen != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Scheduler {
+ public:
+  using Callback = InlineFunction<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  /// Current simulation time.
+  virtual SimTime now() const = 0;
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).  `site` is a
+  /// scheduling-site label for determinism provenance; it must point at a
+  /// string with static storage duration (the scheduler stores the pointer).
+  virtual EventId schedule_at(SimTime t, Callback cb, const char* site = "") = 0;
+
+  /// Schedules `cb` at now() + dt (dt must be >= 0).
+  virtual EventId schedule_in(SimDuration dt, Callback cb, const char* site = "") = 0;
+
+  /// Schedules `cb` to fire at now() + first_delay and then every `period`
+  /// after the previous fire, until cancelled.
+  virtual EventId schedule_every(SimDuration first_delay, SimDuration period,
+                                 Callback cb, const char* site = "") = 0;
+  EventId schedule_every(SimDuration period, Callback cb, const char* site = "") {
+    return schedule_every(period, period, std::move(cb), site);
+  }
+
+  /// Cancels a pending event.  Returns false for an invalid id, or if the
+  /// event already ran or was already cancelled.
+  virtual bool cancel(EventId id) = 0;
+
+  // ---- coroutine support (sim::Process / Event / Queue) ----
+
+  /// Invoked on a registered frame's handle just before the scheduler
+  /// destroys it at teardown, so external owners can drop references first.
+  using FrameDetachFn = void (*)(std::coroutine_handle<>);
+
+  /// Coroutine frame registry: frames register on spawn and unregister on
+  /// completion; teardown destroys any still-suspended frames in reverse
+  /// spawn order so blocked processes never leak.
+  virtual std::uint32_t register_frame(std::coroutine_handle<> h,
+                                       FrameDetachFn detach = nullptr) = 0;
+  virtual void unregister_frame(std::uint32_t frame_slot) = 0;
+
+  /// Records an exception that escaped a detached coroutine; the driver's
+  /// next run call rethrows it.
+  virtual void post_orphan_exception(std::exception_ptr ex) = 0;
+};
+
+}  // namespace pcd::sim
