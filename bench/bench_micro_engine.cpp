@@ -145,4 +145,18 @@ static void BM_FullWorkloadRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullWorkloadRun)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#ifndef PCD_BUILD_TYPE
+#define PCD_BUILD_TYPE "unknown"
+#endif
+
+// Expanded BENCHMARK_MAIN() plus a context entry recording how *this* binary
+// was compiled.  The library's own "library_build_type" reflects the system
+// google-benchmark package, not our flags; tools/check_bench_regression.py
+// reads "build_type" to refuse comparisons against unoptimized builds.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", PCD_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -64,4 +64,16 @@ static void BM_WorkloadRun_ProfilerFull(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadRun_ProfilerFull)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#ifndef PCD_BUILD_TYPE
+#define PCD_BUILD_TYPE "unknown"
+#endif
+
+// Expanded BENCHMARK_MAIN() plus a context entry recording how *this* binary
+// was compiled (see bench_micro_engine.cpp).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", PCD_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

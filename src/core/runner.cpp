@@ -412,6 +412,9 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
           return p;
         },
         &hub->registry());
+    // Batch path: one dense dirty-lane refresh over the arena per tick; the
+    // per-node breakdown() calls above then read clean cached lanes.
+    sampler->set_tick_prelude([&cluster] { cluster.arena().refresh_all(); });
     sampler->start();
     stoppers.push_back([s = sampler.get()] { s->stop(); });
   }
@@ -555,6 +558,7 @@ RunResult run_workload(const apps::Workload& workload, const RunConfig& config) 
   }
   result.net_collisions = cluster.network().stats().collisions;
   result.messages = comm.stats().messages;
+  result.events = static_cast<std::int64_t>(engine.events_processed());
 
   if (tracer) {
     result.profile = trace::analyze(*tracer);

@@ -144,6 +144,9 @@ struct RunResult {
   std::int64_t dvs_transitions = 0;
   std::int64_t net_collisions = 0;
   std::int64_t messages = 0;
+  /// Engine events dispatched over the run — the simulator's unit of work
+  /// (events / wall second is the throughput the perf gate tracks).
+  std::int64_t events = 0;
   /// Mean /proc-style CPU utilization across nodes over the run — what the
   /// CPUSPEED daemon integrates; useful for diagnosing daemon behaviour.
   double mean_utilization = 0;

@@ -209,7 +209,8 @@ RunResult run_workload_sharded(const apps::Workload& workload,
     }
     return false;  // every shard finished — stop promptly
   };
-  engines.run(sim::ShardedEngine::kNoLimit, on_barrier);
+  const sim::ShardedEngine::RunStats run_stats =
+      engines.run(sim::ShardedEngine::kNoLimit, on_barrier);
 
   bool all_done = true;
   for (const auto& d : done) all_done = all_done && d.done;
@@ -253,6 +254,7 @@ RunResult run_workload_sharded(const apps::Workload& workload,
     result.net_collisions += cluster.network().stats().collisions;
   }
   result.messages = comm.stats().messages;
+  result.events = static_cast<std::int64_t>(run_stats.events);
 
   if (!dets.empty()) {
     std::vector<telemetry::RunDigest> parts;

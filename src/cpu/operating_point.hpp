@@ -54,6 +54,13 @@ class OperatingPointTable {
 
   std::size_t size() const { return points_.size(); }
   const OperatingPoint& at(std::size_t i) const { return points_.at(i); }
+
+  /// Unchecked access for hot paths (accounting, power readback) where the
+  /// index is a maintained invariant — Cpu validates op_index_ at assignment.
+  const OperatingPoint& get(std::size_t i) const {
+    assert(i < points_.size());
+    return points_[i];
+  }
   const OperatingPoint& lowest() const { return points_.front(); }
   const OperatingPoint& highest() const { return points_.back(); }
   const std::vector<OperatingPoint>& points() const { return points_; }

@@ -6,11 +6,15 @@
 namespace pcd::machine {
 
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
-    : engine_(engine), config_(config), rng_(config.seed) {
+    : engine_(engine),
+      config_(config),
+      rng_(config.seed),
+      arena_(config.nodes > 0 ? config.nodes : 1) {
   if (config.nodes <= 0) throw std::invalid_argument("cluster needs at least one node");
   nodes_.reserve(config.nodes);
   for (int i = 0; i < config.nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(engine, i, config.node, rng_.split()));
+    nodes_.push_back(std::make_unique<Node>(engine, i, config.node, rng_.split(),
+                                            &arena_, i));
   }
   network_ = std::make_unique<net::Network>(
       engine, config.nodes, config.network, rng_.split(),
@@ -26,9 +30,18 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config)
 }
 
 void Cluster::set_all_cpuspeed(int mhz) {
-  for (auto& n : nodes_) {
-    n->set_cpuspeed(mhz, telemetry::DvsCause::External,
-                    std::numeric_limits<double>::quiet_NaN(), "psetcpuspeed");
+  transition_all(mhz, telemetry::DvsCause::External, "psetcpuspeed");
+}
+
+void Cluster::transition_all(int mhz, telemetry::DvsCause cause, const char* detail) {
+  const int n = static_cast<int>(nodes_.size());
+  for (int i = 0; i < n; ++i) {
+    // Dense no-op test over the arena lanes; a skipped node is one whose
+    // full set_cpuspeed call would log nothing, draw nothing, and change
+    // no state (see NodeStateArena::can_skip_transition).
+    if (arena_.can_skip_transition(i, mhz)) continue;
+    nodes_[static_cast<std::size_t>(i)]->set_cpuspeed(
+        mhz, cause, std::numeric_limits<double>::quiet_NaN(), detail);
   }
 }
 
@@ -39,9 +52,12 @@ void Cluster::attach_telemetry(telemetry::Hub* hub) {
 }
 
 double Cluster::total_energy_joules() const {
-  double joules = 0;
-  for (const auto& n : nodes_) joules += n->power().energy_joules();
-  return joules;
+  // One batch pass over the arena: refresh dirty lanes, integrate all
+  // lanes to now, then sum — the same doubles, in the same order, as
+  // summing node(i).power().energy_joules() one node at a time.
+  auto& arena = const_cast<power::NodeStateArena&>(arena_);
+  arena.accrue_all(engine_.now());
+  return arena_.total_joules();
 }
 
 }  // namespace pcd::machine

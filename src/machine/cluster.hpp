@@ -9,6 +9,7 @@
 #include "machine/node.hpp"
 #include "net/network.hpp"
 #include "power/meters.hpp"
+#include "power/state_arena.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -37,8 +38,22 @@ class Cluster {
   power::BaytechStrip& baytech() { return *baytech_; }
   const ClusterConfig& config() const { return config_; }
 
+  /// The cluster-owned structure-of-arrays node state (power integrators,
+  /// frequency/transition mirrors); every node's cpu/power model is a view
+  /// over one lane.
+  power::NodeStateArena& arena() { return arena_; }
+  const power::NodeStateArena& arena() const { return arena_; }
+
   /// EXTERNAL control: "psetcpuspeed <mhz>" — set every node statically.
+  /// (One transition_all sweep under the External cause.)
   void set_all_cpuspeed(int mhz);
+
+  /// Batch kernel: applies a cluster-wide gear shift in one sweep over the
+  /// arena lanes.  Nodes already at `mhz` with nothing pending are skipped
+  /// by a dense lane test; every other node goes through the full
+  /// Node::set_cpuspeed path in node order, so telemetry decisions, RNG
+  /// draws, and event scheduling are exactly those of the per-node loop.
+  void transition_all(int mhz, telemetry::DvsCause cause, const char* detail);
 
   /// Wires the telemetry hub through the whole machine: node DVS decision
   /// logging, CPU transition events, ACPI/Baytech meter counters, and
@@ -55,6 +70,7 @@ class Cluster {
   sim::Engine& engine_;
   ClusterConfig config_;
   sim::Rng rng_;
+  power::NodeStateArena arena_;  // declared before nodes_: views unbind first
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<power::BaytechStrip> baytech_;

@@ -25,13 +25,18 @@ struct NodeConfig {
 
 class Node {
  public:
-  Node(sim::Scheduler& engine, int id, const NodeConfig& config, sim::Rng rng)
+  /// `arena`/`lane` select the node's backing lane in a cluster-owned
+  /// power::NodeStateArena; without them the node's power model owns a
+  /// private one-lane arena (standalone construction keeps working).
+  Node(sim::Scheduler& engine, int id, const NodeConfig& config, sim::Rng rng,
+       power::NodeStateArena* arena = nullptr, int lane = 0)
       : id_(id),
         cpu_(engine, config.operating_points, config.cpu, rng.split()),
-        power_(engine, cpu_, config.power),
+        power_(engine, cpu_, config.power, arena, lane),
         battery_(engine, power_, config.battery, rng.split()),
         requested_mhz_(cpu_.frequency_mhz()) {
     battery_.set_depleted([this] { handle_battery_depleted(); });
+    power_.mirror_requested_mhz(requested_mhz_);
   }
 
   Node(const Node&) = delete;
@@ -59,6 +64,7 @@ class Node {
                                    mhz, cause, utilization, std::move(detail)});
     }
     requested_mhz_ = mhz;
+    power_.mirror_requested_mhz(mhz);
     cpu_.set_frequency_mhz(mhz);
   }
 
@@ -71,6 +77,7 @@ class Node {
   void power_on() {
     cpu_.power_on();
     requested_mhz_ = cpu_.frequency_mhz();  // BIOS default, nothing requested yet
+    power_.mirror_requested_mhz(requested_mhz_);
   }
 
   /// Attaches (or detaches, with null) the telemetry hub to this node: DVS

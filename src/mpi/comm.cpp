@@ -1,6 +1,9 @@
 #include "mpi/comm.hpp"
 
 #include <cassert>
+#include <memory>
+
+#include "sim/frame_pool.hpp"
 #include <optional>
 #include <stdexcept>
 
@@ -60,7 +63,7 @@ sim::Process Comm::send_proc(int rank, int dst, int tag, std::int64_t bytes,
   auto& cpu = node(rank).cpu();
   co_await cpu.run_commproc_cycles(protocol_cycles(bytes));
 
-  auto msg = std::make_shared<SendMsg>(engine_);
+  auto msg = std::allocate_shared<SendMsg>(sim::PoolAllocator<SendMsg>{}, engine_);
   msg->src = rank;
   msg->tag = tag;
   msg->bytes = bytes;
@@ -110,7 +113,7 @@ sim::Process Comm::recv_proc(int rank, int src, int tag, Request req) {
     msg->recv_posted.set();
     note_match(msg->src, rank, msg->tag, msg->bytes);
   } else {
-    auto post = std::make_shared<RecvPost>(engine_);
+    auto post = std::allocate_shared<RecvPost>(sim::PoolAllocator<RecvPost>{}, engine_);
     post->src = src;
     post->tag = tag;
     mb.recvs.push_back(post);
@@ -128,19 +131,19 @@ sim::Process Comm::recv_proc(int rank, int src, int tag, Request req) {
 
 CommBase::Request Comm::isend(int rank, int dst, int tag, std::int64_t bytes) {
   assert(rank >= 0 && rank < size() && dst >= 0 && dst < size());
-  auto req = std::make_shared<RequestState>(engine_);
+  auto req = std::allocate_shared<RequestState>(sim::PoolAllocator<RequestState>{}, engine_);
   sim::spawn(engine_, send_proc(rank, dst, tag, bytes, req));
   return req;
 }
 
 CommBase::Request Comm::irecv(int rank, int src, int tag) {
   assert(rank >= 0 && rank < size());
-  auto req = std::make_shared<RequestState>(engine_);
+  auto req = std::allocate_shared<RequestState>(sim::PoolAllocator<RequestState>{}, engine_);
   sim::spawn(engine_, recv_proc(rank, src, tag, req));
   return req;
 }
 
-sim::Op<> CommBase::wait_inner(int rank, Request req) {
+sim::Op<> CommBase::wait_inner(int rank, const Request& req) {
   if (!req->done.signaled()) {
     auto ws = node(rank).cpu().wait_scope();
     co_await req->done.wait();
@@ -150,7 +153,7 @@ sim::Op<> CommBase::wait_inner(int rank, Request req) {
 sim::Op<> CommBase::wait(int rank, Request req) {
   std::optional<trace::Tracer::Scope> sc;
   if (tracer_) sc.emplace(tracer_->scope(rank, trace::Cat::Wait, "mpi_wait"));
-  co_await wait_inner(rank, std::move(req));
+  co_await wait_inner(rank, req);
 }
 
 sim::Op<> CommBase::waitall(int rank, std::vector<Request> reqs) {
@@ -165,7 +168,7 @@ sim::Op<> CommBase::send(int rank, int dst, int tag, std::int64_t bytes) {
     sc.emplace(tracer_->scope(rank, trace::Cat::Send, "mpi_send", dst, bytes));
   }
   auto req = isend(rank, dst, tag, bytes);
-  co_await wait_inner(rank, std::move(req));
+  co_await wait_inner(rank, req);
 }
 
 sim::Op<std::int64_t> CommBase::recv(int rank, int src, int tag) {
@@ -185,7 +188,7 @@ sim::Op<std::int64_t> CommBase::sendrecv(int rank, int dst, int send_tag,
   }
   auto rr = irecv(rank, src, recv_tag);
   auto sr = isend(rank, dst, send_tag, send_bytes);
-  co_await wait_inner(rank, std::move(sr));
+  co_await wait_inner(rank, sr);
   co_await wait_inner(rank, rr);
   co_return rr->bytes;
 }
@@ -217,8 +220,8 @@ sim::Op<> CommBase::barrier_body(int rank, int seq) {
     const int from = (rank - step + p) % p;
     auto rr = irecv(rank, from, coll_tag(seq, round));
     auto sr = isend(rank, to, coll_tag(seq, round), 8);
-    co_await wait_inner(rank, std::move(sr));
-    co_await wait_inner(rank, std::move(rr));
+    co_await wait_inner(rank, sr);
+    co_await wait_inner(rank, rr);
   }
 }
 
@@ -240,7 +243,7 @@ sim::Op<> CommBase::bcast_body(int rank, int root, std::int64_t bytes, int seq) 
     if (relative & mask) {
       const int parent = ((relative ^ mask) + root) % p;
       auto rr = irecv(rank, parent, coll_tag(seq, 0));
-      co_await wait_inner(rank, std::move(rr));
+      co_await wait_inner(rank, rr);
       break;
     }
     mask <<= 1;
@@ -250,7 +253,7 @@ sim::Op<> CommBase::bcast_body(int rank, int root, std::int64_t bytes, int seq) 
     if (relative + mask < p) {
       const int child = ((relative + mask) + root) % p;
       auto sr = isend(rank, child, coll_tag(seq, 0), bytes);
-      co_await wait_inner(rank, std::move(sr));
+      co_await wait_inner(rank, sr);
     }
     mask >>= 1;
   }
@@ -275,12 +278,12 @@ sim::Op<> CommBase::reduce_body(int rank, int root, std::int64_t bytes, int seq)
       const int child_rel = relative | mask;
       if (child_rel < p) {
         auto rr = irecv(rank, (child_rel + root) % p, coll_tag(seq, 1));
-        co_await wait_inner(rank, std::move(rr));
+        co_await wait_inner(rank, rr);
       }
     } else {
       const int parent = ((relative & ~mask) + root) % p;
       auto sr = isend(rank, parent, coll_tag(seq, 1), bytes);
-      co_await wait_inner(rank, std::move(sr));
+      co_await wait_inner(rank, sr);
       break;
     }
     mask <<= 1;
@@ -339,8 +342,8 @@ sim::Op<> CommBase::alltoallv_body(int rank, std::vector<std::int64_t> bytes_to,
       const int from = (rank - r + p) % p;
       auto rr = irecv(rank, from, coll_tag(seq, r % 64));
       auto sr = isend(rank, to, coll_tag(seq, r % 64), bytes_to[to]);
-      co_await wait_inner(rank, std::move(sr));
-      co_await wait_inner(rank, std::move(rr));
+      co_await wait_inner(rank, sr);
+      co_await wait_inner(rank, rr);
     }
   }
 }
@@ -358,10 +361,10 @@ sim::Op<> CommBase::scatter(int rank, int root, std::int64_t bytes) {
       if (r == root) continue;
       reqs.push_back(isend(rank, r, coll_tag(seq, 2), bytes));
     }
-    for (auto& r : reqs) co_await wait_inner(rank, std::move(r));
+    for (auto& r : reqs) co_await wait_inner(rank, r);
   } else {
     auto rr = irecv(rank, root, coll_tag(seq, 2));
-    co_await wait_inner(rank, std::move(rr));
+    co_await wait_inner(rank, rr);
   }
 }
 
@@ -377,10 +380,10 @@ sim::Op<> CommBase::gather(int rank, int root, std::int64_t bytes) {
       if (r == root) continue;
       reqs.push_back(irecv(rank, r, coll_tag(seq, 3)));
     }
-    for (auto& r : reqs) co_await wait_inner(rank, std::move(r));
+    for (auto& r : reqs) co_await wait_inner(rank, r);
   } else {
     auto sr = isend(rank, root, coll_tag(seq, 3), bytes);
-    co_await wait_inner(rank, std::move(sr));
+    co_await wait_inner(rank, sr);
   }
 }
 
@@ -418,8 +421,8 @@ sim::Op<> CommBase::allgather(int rank, std::int64_t bytes) {
   for (int s = 0; s + 1 < p; ++s) {
     auto rr = irecv(rank, left, coll_tag(seq, s % 64));
     auto sr = isend(rank, right, coll_tag(seq, s % 64), bytes);
-    co_await wait_inner(rank, std::move(sr));
-    co_await wait_inner(rank, std::move(rr));
+    co_await wait_inner(rank, sr);
+    co_await wait_inner(rank, rr);
   }
 }
 

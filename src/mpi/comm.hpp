@@ -123,7 +123,7 @@ class CommBase {
       : costs_(costs), tracer_(tracer) {}
 
   /// Wait without opening a trace scope (collective internals).
-  sim::Op<> wait_inner(int rank, Request req);
+  sim::Op<> wait_inner(int rank, const Request& req);
 
   double protocol_cycles(std::int64_t bytes) const;
   double speed_ratio(int rank);

@@ -1,6 +1,9 @@
 #include "mpi/sharded_comm.hpp"
 
 #include <cassert>
+#include <memory>
+
+#include "sim/frame_pool.hpp"
 #include <numeric>
 #include <stdexcept>
 
@@ -85,7 +88,7 @@ CommBase::Request ShardedComm::isend(int rank, int dst, int tag,
     return inner_[static_cast<std::size_t>(a)]->isend(
         plan_.local_of(rank), plan_.local_of(dst), tag, bytes);
   }
-  auto req = std::make_shared<RequestState>(engines_.shard(a));
+  auto req = std::allocate_shared<RequestState>(sim::PoolAllocator<RequestState>{}, engines_.shard(a));
   sim::spawn(engines_.shard(a), xsend_proc(rank, dst, tag, bytes, req));
   return req;
 }
@@ -103,7 +106,7 @@ CommBase::Request ShardedComm::irecv(int rank, int src, int tag) {
     return inner_[static_cast<std::size_t>(a)]->irecv(plan_.local_of(rank),
                                                       plan_.local_of(src), tag);
   }
-  auto req = std::make_shared<RequestState>(engines_.shard(a));
+  auto req = std::allocate_shared<RequestState>(sim::PoolAllocator<RequestState>{}, engines_.shard(a));
   sim::spawn(engines_.shard(a), xrecv_proc(rank, src, tag, req));
   return req;
 }
@@ -115,11 +118,11 @@ sim::Process ShardedComm::xsend_proc(int rank, int dst, int tag,
   auto& cpu = node(rank).cpu();
   co_await cpu.run_commproc_cycles(protocol_cycles(bytes));
 
-  auto st = std::make_shared<XSendState>(engines_.shard(a));
+  auto st = std::allocate_shared<XSendState>(sim::PoolAllocator<XSendState>{}, engines_.shard(a));
   // The XMsg is plain data until the announce lands: its `delivered` Event
   // is bound to the receiving engine but not touched before then, and the
   // barrier hand-off orders this construction before any receiver access.
-  auto msg = std::make_shared<XMsg>(engines_.shard(b));
+  auto msg = std::allocate_shared<XMsg>(sim::PoolAllocator<XMsg>{}, engines_.shard(b));
   msg->src = rank;
   msg->dst = dst;
   msg->tag = tag;
@@ -151,7 +154,7 @@ sim::Process ShardedComm::xrecv_proc(int rank, int src, int tag, Request req) {
   if (msg) {
     complete_match(msg);
   } else {
-    auto post = std::make_shared<XRecvPost>(engine_of(rank));
+    auto post = std::allocate_shared<XRecvPost>(sim::PoolAllocator<XRecvPost>{}, engine_of(rank));
     post->src = src;
     post->tag = tag;
     mb.recvs.push_back(post);

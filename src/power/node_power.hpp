@@ -4,12 +4,21 @@
 // breakdown).  Every component's draw is a piecewise-constant function of
 // simulation state, so energy is integrated exactly: the model accrues
 // joules whenever any input changes and on every read.
+//
+// Since the SoA refactor the integrator state itself (last-accrue tick,
+// cached draw, cumulative joules, NIC flows) lives in a NodeStateArena
+// lane; NodePowerModel is a thin view over that lane.  The cluster passes
+// its shared arena in; the standalone constructor (used by tests and
+// single-node setups) owns a private one-lane arena, so the public API and
+// the integration arithmetic are identical either way.
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "cpu/cpu.hpp"
 #include "power/cpu_power.hpp"
+#include "power/state_arena.hpp"
 #include "sim/scheduler.hpp"
 
 namespace pcd::power {
@@ -51,12 +60,18 @@ struct EnergyBreakdown {
 
 class NodePowerModel {
  public:
-  NodePowerModel(sim::Scheduler& engine, cpu::Cpu& cpu, NodePowerParams params);
+  /// View over `lane` of `arena`; with arena == nullptr the model owns a
+  /// private one-lane arena (standalone use keeps working unchanged).
+  NodePowerModel(sim::Scheduler& engine, cpu::Cpu& cpu, NodePowerParams params,
+                 NodeStateArena* arena = nullptr, int lane = 0);
+  ~NodePowerModel();
 
   NodePowerModel(const NodePowerModel&) = delete;
   NodePowerModel& operator=(const NodePowerModel&) = delete;
 
-  /// Current per-component draw.
+  /// Current per-component draw (served from the lane's cached watts,
+  /// refreshed from live CPU state when stale — bit-identical to an eager
+  /// recompute).
   PowerBreakdown breakdown() const;
   double watts() const { return breakdown().total(); }
 
@@ -68,9 +83,21 @@ class NodePowerModel {
   /// Number of network transfers currently touching this node (drives NIC
   /// active power).  Maintained by the network model.
   void set_nic_flows(int flows);
-  int nic_flows() const { return nic_flows_; }
+  int nic_flows() const { return arena_->nic_flows(lane_); }
 
   const NodePowerParams& params() const { return params_; }
+
+  /// The backing arena and this view's lane in it.
+  NodeStateArena& arena() { return *arena_; }
+  const NodeStateArena& arena() const { return *arena_; }
+  int lane() const { return lane_; }
+
+  /// Write-through for machine::Node's requested-frequency bookkeeping, so
+  /// NodeStateArena::can_skip_transition sees what strategies last asked
+  /// for without touching the Node object.
+  void mirror_requested_mhz(int mhz) {
+    arena_->requested_mhz_[static_cast<std::size_t>(lane_)] = mhz;
+  }
 
   /// Determinism observability: while set, every *simulation-driven*
   /// integration step (CPU state change, NIC flow change) folds one record
@@ -80,19 +107,28 @@ class NodePowerModel {
   void set_digest(sim::DigestStream* digest, int node_id);
 
  private:
-  void accrue() const;
-  void note_step() const;
+  friend class NodeStateArena;
+
+  void accrue() const { arena_->accrue_lane(lane_, engine_.now_cached()); }
+  void note_step() const {
+    if (digest_ != nullptr) note_step_slow();
+  }
+  void note_step_slow() const;
+  /// Recomputes the lane's cached per-component draw from live CPU state
+  /// and clears the dirty bit.  The expressions are exactly the old eager
+  /// breakdown(), so cached values match a fresh compute bit for bit.
+  void refresh_watts() const;
+  double lane_total() const;
 
   sim::Scheduler& engine_;
   cpu::Cpu& cpu_;
   NodePowerParams params_;
   CpuPowerModel cpu_model_;
-  int nic_flows_ = 0;
+  std::unique_ptr<NodeStateArena> owned_;  // standalone ctor only
+  NodeStateArena* arena_;
+  int lane_;
   sim::DigestStream* digest_ = nullptr;
   int node_id_ = -1;
-
-  mutable sim::SimTime last_accrue_;
-  mutable EnergyBreakdown energy_;
 };
 
 }  // namespace pcd::power

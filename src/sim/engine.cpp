@@ -90,21 +90,26 @@ void Engine::prune_heap() {
   }
 }
 
-void Engine::prune_run() {
-  if (run_head_ >= 4096 && run_head_ * 2 >= run_.size()) {
-    // Reclaim the consumed prefix (amortized O(1) per popped entry) so a
-    // long monotone phase doesn't hold memory for already-fired events.
-    run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
-    run_head_ = 0;
+void Engine::prune_runs() {
+  for (RunLane& lane : runs_) {
+    if (lane.head >= 4096 && lane.head * 2 >= lane.entries.size()) {
+      // Reclaim the consumed prefix (amortized O(1) per popped entry) so a
+      // long monotone phase doesn't hold memory for already-fired events.
+      lane.entries.erase(lane.entries.begin(),
+                         lane.entries.begin() + static_cast<std::ptrdiff_t>(lane.head));
+      lane.head = 0;
+    }
+    while (lane.head < lane.entries.size()) {
+      const HeapEntry& e = lane.entries[lane.head];
+      const EventNode& n = node(e.slot);
+      if (n.gen == e.gen && (n.flags & kArmed) != 0) break;
+      ++lane.head;  // cancelled: skip in place
+    }
+    if (lane.head == lane.entries.size()) {
+      lane.entries.clear();
+      lane.head = 0;
+    }
   }
-  while (run_head_ < run_.size()) {
-    const HeapEntry& e = run_[run_head_];
-    const EventNode& n = node(e.slot);
-    if (n.gen == e.gen && (n.flags & kArmed) != 0) return;
-    ++run_head_;  // cancelled: skip in place
-  }
-  run_.clear();
-  run_head_ = 0;
 }
 
 // ---- scheduling -----------------------------------------------------------
@@ -123,15 +128,33 @@ EventId Engine::schedule_at(SimTime t, Callback cb, const char* site) {
   n.flags = kArmed;
   n.cb = std::move(cb);
   // A fresh event's seq is the global maximum, so comparing times alone
-  // decides run membership: monotone arrivals append, strays go to the heap.
-  if (run_head_ == run_.size()) {
-    run_.clear();
-    run_head_ = 0;
-    run_.push_back(HeapEntry{t, seq, slot, n.gen});
-  } else if (t >= run_.back().t) {
-    run_.push_back(HeapEntry{t, seq, slot, n.gen});
+  // decides lane membership: the event appends to the fitting lane whose
+  // tail it extends the least (best fit, so lanes specialize into horizon
+  // bands instead of all drifting to the longest stream), an empty lane
+  // restarts at any time, and strays that fit nowhere go to the heap.
+  const HeapEntry entry{t, seq, slot, n.gen};
+  RunLane* best_lane = nullptr;
+  RunLane* empty_lane = nullptr;
+  SimTime best_back = 0;
+  for (RunLane& lane : runs_) {
+    if (lane.head == lane.entries.size()) {
+      if (empty_lane == nullptr) empty_lane = &lane;
+      continue;
+    }
+    const SimTime back = lane.entries.back().t;
+    if (t >= back && (best_lane == nullptr || back > best_back)) {
+      best_lane = &lane;
+      best_back = back;
+    }
+  }
+  if (best_lane != nullptr) {
+    best_lane->entries.push_back(entry);
+  } else if (empty_lane != nullptr) {
+    empty_lane->entries.clear();
+    empty_lane->head = 0;
+    empty_lane->entries.push_back(entry);
   } else {
-    heap_push(HeapEntry{t, seq, slot, n.gen});
+    heap_push(entry);
   }
   ++live_events_;
   return EventId{slot, n.gen};
@@ -389,16 +412,18 @@ void Engine::note_dispatch_slow(const EventNode& n, std::uint64_t draws_before) 
 }
 
 bool Engine::step() {
-  prune_run();
+  prune_runs();
   prune_heap();
-  // Pick the global (t, seq) minimum across the three containers.
+  // Pick the global (t, seq) minimum across all containers.
   const HeapEntry* best = heap_.empty() ? nullptr : &heap_.front();
-  bool from_run = false;
-  if (run_head_ < run_.size()) {
-    const HeapEntry& r = run_[run_head_];
-    if (best == nullptr || precedes(r.t, r.seq, best->t, best->seq)) {
-      best = &r;
-      from_run = true;
+  RunLane* from_lane = nullptr;
+  for (RunLane& lane : runs_) {
+    if (lane.head < lane.entries.size()) {
+      const HeapEntry& r = lane.entries[lane.head];
+      if (best == nullptr || precedes(r.t, r.seq, best->t, best->seq)) {
+        best = &r;
+        from_lane = &lane;
+      }
     }
   }
   const std::uint32_t w = wheel_min();
@@ -411,8 +436,8 @@ bool Engine::step() {
   }
   if (best == nullptr) return false;
   const HeapEntry e = *best;  // copy before the pop invalidates the pointer
-  if (from_run) {
-    ++run_head_;
+  if (from_lane != nullptr) {
+    ++from_lane->head;
   } else {
     heap_pop();
   }
@@ -421,7 +446,7 @@ bool Engine::step() {
 }
 
 bool Engine::next_event_time(SimTime* out) {
-  prune_run();
+  prune_runs();
   prune_heap();
   bool found = false;
   SimTime t = 0;
@@ -429,9 +454,12 @@ bool Engine::next_event_time(SimTime* out) {
     t = heap_.front().t;
     found = true;
   }
-  if (run_head_ < run_.size() && (!found || run_[run_head_].t < t)) {
-    t = run_[run_head_].t;
-    found = true;
+  for (const RunLane& lane : runs_) {
+    if (lane.head < lane.entries.size() &&
+        (!found || lane.entries[lane.head].t < t)) {
+      t = lane.entries[lane.head].t;
+      found = true;
+    }
   }
   const std::uint32_t w = wheel_min();
   if (w != kNil && (!found || node(w).t < t)) {

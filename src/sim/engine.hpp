@@ -12,10 +12,11 @@
 // are recycled through a free list, dead heap entries are lazily skipped
 // at pop).  Node addresses are stable for the life of the engine, so a
 // callback is invoked in place — it is never moved out of its node.
-// One-shot ordering uses a 4-ary min-heap of 24-byte (time, seq, slot)
-// entries; strictly periodic events (schedule_every) bypass the heap
-// entirely: they park in a hierarchical timer wheel and re-arm in place
-// after every fire.
+// One-shot ordering uses four sorted append-only run lanes (best-fit by
+// horizon, capturing near-monotone streams) with a 4-ary min-heap of 24-byte
+// (time, seq, slot) entries as the stray fallback; strictly periodic
+// events (schedule_every) bypass all of that: they park in a hierarchical
+// timer wheel and re-arm in place after every fire.
 #pragma once
 
 #include <array>
@@ -38,7 +39,7 @@ class Engine final : public Scheduler {
  public:
   using Callback = InlineFunction<void()>;
 
-  Engine() = default;
+  Engine() { now_src_ = &now_; }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine() override;
@@ -220,7 +221,7 @@ class Engine final : public Scheduler {
   void bucket_unlink(std::uint32_t slot);
   std::uint32_t wheel_min();  // kNil if no periodic events are parked
   void prune_heap();          // pops cancelled entries off the heap top
-  void prune_run();           // skips cancelled entries at the run front
+  void prune_runs();          // skips cancelled entries at the lane fronts
   void heap_push(const HeapEntry& e);
   void heap_pop();
 
@@ -248,15 +249,26 @@ class Engine final : public Scheduler {
     return next_seq_++;
   }
 
-  // One-shot events split between two containers (ladder-queue style).
+  // One-shot events split between three containers (ladder-queue style).
   // Simulations overwhelmingly schedule in near-monotone time order, so an
-  // event no earlier than the newest run entry appends to `run_` — a sorted
-  // FIFO popped from the front in O(1) with perfectly sequential memory
-  // traffic.  Out-of-order arrivals fall back to the 4-ary min-heap.
-  // Dispatch always takes the global (t, seq) minimum of run front, heap
-  // top, and wheel min, so the split never affects event order.
-  std::vector<HeapEntry> run_;   // monotone (t, seq)-ascending run
-  std::size_t run_head_ = 0;     // first unconsumed run entry
+  // event no earlier than a lane's newest entry appends to that lane — a
+  // sorted FIFO popped from the front in O(1) with perfectly sequential
+  // memory traffic.  Four lanes with best-fit placement: a new event goes
+  // to the fitting lane whose back is *latest* (tightest horizon band), so
+  // the lanes self-organize into bands — compute-segment ends, network
+  // hops, MPI protocol steps, daemon ticks — and keep absorbing appends
+  // even late in a run when per-node DVS divergence turns the delay
+  // distribution into a continuum.  An empty lane is seeded only when no
+  // lane fits; each lane stays sorted because an appended event's seq is
+  // the global maximum at insert time.  Strays that fit no lane fall back
+  // to the 4-ary min-heap.  Dispatch always takes the global (t, seq)
+  // minimum of the lane fronts, heap top, and wheel min, so lane placement
+  // never affects event order.
+  struct RunLane {
+    std::vector<HeapEntry> entries;  // monotone (t, seq)-ascending
+    std::size_t head = 0;            // first unconsumed entry
+  };
+  std::array<RunLane, 4> runs_;
   std::vector<HeapEntry> heap_;  // 4-ary min-heap ordered by (t, seq)
   std::vector<std::unique_ptr<EventNode[]>> chunks_;
   std::uint32_t slab_size_ = 0;  // slots handed out so far (free or armed)

@@ -19,6 +19,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
 #include "sim/scheduler.hpp"
 
 namespace pcd::sim {
@@ -32,6 +33,14 @@ struct OpPromiseBase {
   Scheduler* engine_ptr = nullptr;
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  // Op frames are the single hottest allocation in an MPI-heavy run (every
+  // point-to-point call and every collective stage is one); recycle them
+  // through the thread-local pool.  Inherited by both Op<T> promise types.
+  static void* operator new(std::size_t bytes) { return pool_alloc(bytes); }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    pool_free(p, bytes);
+  }
 
   Scheduler* engine() const { return engine_ptr; }
 

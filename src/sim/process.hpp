@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/frame_pool.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -48,6 +49,13 @@ class Process {
     std::exception_ptr exception;
     std::vector<std::coroutine_handle<>> waiters;
     std::uint32_t frame_slot = 0;
+
+    // Coroutine frames cycle through the thread-local pool; spawning a rank
+    // process costs a freelist pop instead of a malloc on the steady state.
+    static void* operator new(std::size_t bytes) { return pool_alloc(bytes); }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      pool_free(p, bytes);
+    }
 
     Scheduler* engine() const { return engine_ptr; }
 
@@ -220,22 +228,36 @@ class Event {
   void set() {
     if (signaled_) return;
     signaled_ = true;
-    auto waiters = std::move(waiters_);
-    waiters_.clear();
-    for (auto w : waiters) {
+    // First waiter wakes first, then the overflow vector in arrival order —
+    // the same FIFO schedule the single-vector implementation produced.
+    if (w0_) {
+      auto w = std::exchange(w0_, nullptr);
       engine_->schedule_in(0, [w] { w.resume(); }, "event.set");
+    }
+    if (!rest_.empty()) {
+      auto waiters = std::move(rest_);
+      rest_.clear();
+      for (auto w : waiters) {
+        engine_->schedule_in(0, [w] { w.resume(); }, "event.set");
+      }
     }
   }
 
   void reset() { signaled_ = false; }
   bool signaled() const { return signaled_; }
-  std::size_t waiter_count() const { return waiters_.size(); }
+  std::size_t waiter_count() const { return (w0_ ? 1 : 0) + rest_.size(); }
 
   auto wait() {
     struct Awaiter {
       Event* ev;
       bool await_ready() const { return ev->signaled_; }
-      void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        if (!ev->w0_) {
+          ev->w0_ = h;
+        } else {
+          ev->rest_.push_back(h);
+        }
+      }
       void await_resume() const {}
     };
     return Awaiter{this};
@@ -244,7 +266,10 @@ class Event {
  private:
   Scheduler* engine_;
   bool signaled_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  // Nearly every event (message delivered, request done) has exactly one
+  // waiter; the inline slot makes that case allocation-free.
+  std::coroutine_handle<> w0_ = nullptr;
+  std::vector<std::coroutine_handle<>> rest_;
 };
 
 /// Unbounded FIFO channel between processes.  pop() suspends while empty.

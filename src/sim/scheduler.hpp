@@ -55,6 +55,13 @@ class Scheduler {
   /// Current simulation time.
   virtual SimTime now() const = 0;
 
+  /// Non-virtual fast path for now(): reads the implementation's clock word
+  /// directly when the implementation has published it (Engine does), else
+  /// falls back to the virtual call.  Hot accounting paths (CPU utilization,
+  /// power integration) read the clock tens of millions of times per run;
+  /// this turns each of those reads into a plain load.
+  SimTime now_cached() const { return now_src_ != nullptr ? *now_src_ : now(); }
+
   /// Schedules `cb` at absolute time `t` (must be >= now()).  `site` is a
   /// scheduling-site label for determinism provenance; it must point at a
   /// string with static storage duration (the scheduler stores the pointer).
@@ -91,6 +98,12 @@ class Scheduler {
   /// Records an exception that escaped a detached coroutine; the driver's
   /// next run call rethrows it.
   virtual void post_orphan_exception(std::exception_ptr ex) = 0;
+
+ protected:
+  /// Implementations publish the address of their clock word here to enable
+  /// the now_cached() fast path; it must stay valid for the scheduler's
+  /// lifetime and always equal what now() would return.
+  const SimTime* now_src_ = nullptr;
 };
 
 }  // namespace pcd::sim

@@ -45,6 +45,7 @@ void TimeSeriesSampler::stop() {
 
 void TimeSeriesSampler::tick() {
   ++ticks_;
+  if (prelude_) prelude_();
   const sim::SimTime now = engine_.now();
   const double period_ns = static_cast<double>(now - last_tick_);
   for (int i = 0; i < nodes(); ++i) {

@@ -102,6 +102,14 @@ class TimeSeriesSampler {
   void stop();
   bool running() const { return running_; }
 
+  /// Optional hook run once at the top of every tick, before any per-node
+  /// probe.  The runner points it at the cluster arena's batch refresh
+  /// (power::NodeStateArena::refresh_all) so a tick costs one dense sweep
+  /// plus N cached reads instead of N scalar refreshes.
+  void set_tick_prelude(sim::InlineFunction<void()> prelude) {
+    prelude_ = std::move(prelude);
+  }
+
   int nodes() const { return static_cast<int>(series_.size()); }
   std::int64_t ticks() const { return ticks_; }
   const SamplerParams& params() const { return params_; }
@@ -116,6 +124,7 @@ class TimeSeriesSampler {
   sim::Engine& engine_;
   SamplerParams params_;
   Probe probe_;
+  sim::InlineFunction<void()> prelude_;
   MetricsRegistry* registry_;
   std::vector<RingBuffer<NodeSample>> series_;
   std::vector<double> last_busy_ns_;

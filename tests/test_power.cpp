@@ -3,13 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "cpu/cpu.hpp"
 #include "power/cpu_power.hpp"
 #include "power/meters.hpp"
 #include "power/node_power.hpp"
+#include "power/state_arena.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
+#include "sim/provenance.hpp"
 
 namespace sim = pcd::sim;
 using pcd::cpu::Cpu;
@@ -326,4 +331,199 @@ TEST(Baytech, PartialWindowOverlapIsProrated) {
   strip.stop_polling();
   const double est = strip.estimate_energy_joules(30 * sim::kSecond, 90 * sim::kSecond);
   EXPECT_NEAR(est, idle_watts * 60.0, 1e-6);
+}
+
+// ---- NodeStateArena equivalence (DESIGN.md §3.15) ---------------------------
+//
+// The SoA arena claims the batched kernels (accrue_all / refresh_all) and
+// the per-view read path are the *same* integrator: identical arithmetic,
+// identical addition order, and pure on the read side.  These tests run a
+// fig1/fig9-shaped multi-node scenario — phased compute with mid-segment
+// DVS transitions (the cpuspeed daemon's signature move in Figure 9) and
+// NIC flow churn (Figure 1's network phase) — under three observation
+// modes and require bit-identical energies and digest streams.
+
+namespace {
+
+enum class Observe { None, PerNode, BatchSweep };
+
+struct ArenaRunResult {
+  // Cumulative per-node joules captured at each mid-run sample point.
+  std::vector<std::vector<double>> samples;
+  std::vector<pcd::power::EnergyBreakdown> final_breakdown;
+  double arena_total = 0;
+  double summed_views = 0;
+  std::uint64_t digest_hash = 0;
+  std::uint64_t digest_count = 0;
+};
+
+sim::Process arena_phases(Cpu& cpu) {
+  // ~1.5 ms on-chip at 1.4 GHz, a memory-bound stall, then a short tail
+  // segment — the Figure 1 breakdown shape compressed to test scale.
+  co_await cpu.run_onchip_cycles(2.1e6);
+  co_await cpu.run_memstall(3 * sim::kMillisecond);
+  co_await cpu.run_onchip_cycles(1.3e6);
+}
+
+ArenaRunResult run_arena_scenario(Observe mode) {
+  constexpr int kNodes = 4;
+  sim::Engine engine;
+  pcd::power::NodeStateArena arena(kNodes);
+  std::vector<std::unique_ptr<Cpu>> cpus;
+  std::vector<std::unique_ptr<NodePowerModel>> models;
+  sim::DigestStream digest;
+  for (int i = 0; i < kNodes; ++i) {
+    cpus.push_back(std::make_unique<Cpu>(engine,
+                                         OperatingPointTable::pentium_m_1400(),
+                                         CpuConfig{}, sim::Rng(100 + i)));
+    models.push_back(std::make_unique<NodePowerModel>(
+        engine, *cpus[i], NodePowerParams::nemo(), &arena, i));
+    models.back()->set_digest(&digest, i);
+  }
+
+  for (auto& c : cpus) sim::spawn(engine, arena_phases(*c));
+
+  // Mid-segment DVS transitions: 0.5 ms lands inside every node's first
+  // on-chip segment, 4 ms inside the memory stall.  Node 3 stays at 1400
+  // so the sweep always covers heterogeneous frequencies.
+  engine.schedule_at(sim::kMillisecond / 2, [&] {
+    cpus[0]->set_frequency_mhz(600);
+    cpus[1]->set_frequency_mhz(800);
+    cpus[2]->set_frequency_mhz(1000);
+  });
+  engine.schedule_at(4 * sim::kMillisecond, [&] {
+    cpus[0]->set_frequency_mhz(1200);
+    cpus[1]->set_frequency_mhz(600);
+  });
+  // NIC flow churn on a different grid than the DVS events.
+  for (int k = 0; k < 6; ++k) {
+    engine.schedule_at((3 * k + 1) * sim::kMillisecond, [&, k] {
+      for (int i = 0; i < kNodes; ++i) {
+        models[static_cast<std::size_t>(i)]->set_nic_flows((k + i) % 3);
+      }
+    });
+  }
+
+  ArenaRunResult out;
+  // Observation grid: same times in every mode so the event horizon (and
+  // therefore the final now()) is mode-independent.
+  for (int s = 1; s <= 8; ++s) {
+    engine.schedule_at(2 * s * sim::kMillisecond, [&, mode] {
+      std::vector<double> row;
+      switch (mode) {
+        case Observe::None:
+          return;  // the marker event still fires; nothing is read
+        case Observe::PerNode:
+          for (auto& m : models) row.push_back(m->energy_joules());
+          break;
+        case Observe::BatchSweep: {
+          arena.accrue_all(engine.now());
+          arena.refresh_all();
+          for (int i = 0; i < kNodes; ++i) {
+            const double* j = arena.joules(i);
+            double t = 0;
+            for (int c = 0; c < pcd::power::NodeStateArena::kComponents; ++c) {
+              t += j[c];
+            }
+            row.push_back(t);
+          }
+          break;
+        }
+      }
+      out.samples.push_back(std::move(row));
+    });
+  }
+  engine.schedule_at(20 * sim::kMillisecond, [] {});
+  engine.run();
+
+  for (auto& m : models) out.final_breakdown.push_back(m->energy_breakdown());
+  arena.accrue_all(engine.now());
+  out.arena_total = arena.total_joules();
+  for (auto& m : models) out.summed_views += m->energy_joules();
+  out.digest_hash = digest.hash;
+  out.digest_count = digest.count;
+  return out;
+}
+
+}  // namespace
+
+TEST(NodeStateArena, ViewAndBatchObservationAreBitIdentical) {
+  // Under the *same* observation grid, the per-view read path and the
+  // batched accrue_all sweep are the same integrator: final energies and
+  // the digest stream must match bit for bit.  (An observation itself
+  // materializes the lazy accrual at the read time — splitting one
+  // constant-draw interval into two float additions — so runs with
+  // *different* read schedules agree only to ULPs.  That was equally true
+  // of the per-object model, which accrued on every read; what the arena
+  // must guarantee is that *how* you observe never changes the bits.)
+  const auto per_node = run_arena_scenario(Observe::PerNode);
+  const auto sweep = run_arena_scenario(Observe::BatchSweep);
+
+  ASSERT_EQ(per_node.final_breakdown.size(), sweep.final_breakdown.size());
+  for (std::size_t i = 0; i < per_node.final_breakdown.size(); ++i) {
+    const auto& a = per_node.final_breakdown[i];
+    const auto& b = sweep.final_breakdown[i];
+    EXPECT_EQ(a.cpu, b.cpu) << "node " << i;
+    EXPECT_EQ(a.memory, b.memory) << "node " << i;
+    EXPECT_EQ(a.disk, b.disk) << "node " << i;
+    EXPECT_EQ(a.nic, b.nic) << "node " << i;
+    EXPECT_EQ(a.other, b.other) << "node " << i;
+  }
+  EXPECT_EQ(per_node.digest_hash, sweep.digest_hash);
+  EXPECT_EQ(per_node.digest_count, sweep.digest_count);
+  EXPECT_GT(per_node.digest_count, 0u);  // the scenario did fold real steps
+}
+
+TEST(NodeStateArena, ObservationNeverFoldsDigestRecords) {
+  // The digest is a function of the simulation, not of who observed it:
+  // reads accrue but never fold, so the record *count* is identical across
+  // all observation modes — including none at all.
+  const auto none = run_arena_scenario(Observe::None);
+  const auto per_node = run_arena_scenario(Observe::PerNode);
+  const auto sweep = run_arena_scenario(Observe::BatchSweep);
+  EXPECT_EQ(none.digest_count, per_node.digest_count);
+  EXPECT_EQ(none.digest_count, sweep.digest_count);
+  EXPECT_GT(none.digest_count, 0u);
+}
+
+TEST(NodeStateArena, RepeatedRunsAreDeterministic) {
+  // Same scenario, same observation schedule: every bit reproduces,
+  // including the transition-latency RNG draws and the digest hash.
+  const auto a = run_arena_scenario(Observe::None);
+  const auto b = run_arena_scenario(Observe::None);
+  EXPECT_EQ(a.digest_hash, b.digest_hash);
+  EXPECT_EQ(a.digest_count, b.digest_count);
+  ASSERT_EQ(a.final_breakdown.size(), b.final_breakdown.size());
+  for (std::size_t i = 0; i < a.final_breakdown.size(); ++i) {
+    EXPECT_EQ(a.final_breakdown[i].cpu, b.final_breakdown[i].cpu);
+    EXPECT_EQ(a.final_breakdown[i].memory, b.final_breakdown[i].memory);
+    EXPECT_EQ(a.final_breakdown[i].nic, b.final_breakdown[i].nic);
+  }
+  EXPECT_EQ(a.arena_total, b.arena_total);
+}
+
+TEST(NodeStateArena, PerNodeReadsMatchBatchSweepsMidRun) {
+  const auto per_node = run_arena_scenario(Observe::PerNode);
+  const auto sweep = run_arena_scenario(Observe::BatchSweep);
+  // The view read path (accrue_lane at read time) and the batch kernel
+  // (accrue_all + refresh_all) must agree bitwise at every sample point,
+  // including samples taken mid-transition and mid-NIC-burst.
+  ASSERT_EQ(per_node.samples.size(), sweep.samples.size());
+  ASSERT_FALSE(per_node.samples.empty());
+  for (std::size_t s = 0; s < per_node.samples.size(); ++s) {
+    ASSERT_EQ(per_node.samples[s].size(), sweep.samples[s].size());
+    for (std::size_t i = 0; i < per_node.samples[s].size(); ++i) {
+      EXPECT_EQ(per_node.samples[s][i], sweep.samples[s][i])
+          << "sample " << s << " node " << i;
+    }
+  }
+}
+
+TEST(NodeStateArena, TotalJoulesMatchesViewSumBitwise) {
+  // total_joules accumulates per lane in component order, then sums lanes
+  // in node order — the exact addition order of summing energy_joules()
+  // node by node, so the cluster-level total is bitwise-stable against
+  // the per-node path.
+  const auto r = run_arena_scenario(Observe::None);
+  EXPECT_EQ(r.arena_total, r.summed_views);
 }

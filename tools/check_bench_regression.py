@@ -18,12 +18,50 @@ run: the candidate counterpart of baseline "PREFIX<suffix>" is looked up as
 (BM_WorkloadRun_ProfilerOn vs BM_WorkloadRun_ProfilerOff, both from one
 bench_micro_profiler run passed as baseline and candidate).
 
-Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input.
+Both files must come from optimized (Release-family) builds: comparing a
+debug binary's throughput against a release baseline — or blessing a debug
+baseline — makes the gate meaningless, so a non-release context fails fast
+with exit 2.  The bench binaries stamp their own compile mode into
+context.build_type; for files that predate that field, the library's
+library_build_type is consulted instead.
+
+Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input
+(including a debug/unknown build type in either file).
 """
 
 import argparse
 import json
 import sys
+
+# CMake build types with optimization enabled.  Anything else (Debug, an
+# empty CMAKE_BUILD_TYPE, "unknown") measures unoptimized code.
+OPTIMIZED_BUILD_TYPES = {"release", "relwithdebinfo", "minsizerel"}
+
+
+def require_release_build(path, doc):
+    ctx = doc.get("context", {})
+    source = "build_type"
+    build = ctx.get("build_type")
+    if build is None:
+        source = "library_build_type"
+        build = ctx.get("library_build_type")
+    if build is None:
+        print(
+            f"error: {path}: context records no build_type; regenerate it "
+            f"from a -DCMAKE_BUILD_TYPE=Release build (the bench binaries "
+            f"stamp context.build_type)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if str(build).lower() not in OPTIMIZED_BUILD_TYPES:
+        print(
+            f"error: {path}: context.{source} is {build!r}, not an optimized "
+            f"(Release-family) build — throughput from unoptimized binaries "
+            f"cannot gate anything; rebuild with -DCMAKE_BUILD_TYPE=Release "
+            f"and regenerate",
+            file=sys.stderr,
+        )
+        sys.exit(2)
 
 
 def load_items_per_second(path):
@@ -33,6 +71,7 @@ def load_items_per_second(path):
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    require_release_build(path, doc)
     out = {}
     for b in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) so --benchmark_repetitions
