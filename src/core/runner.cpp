@@ -168,22 +168,18 @@ std::vector<ConfigIssue> RunConfig::validate() const {
     issues.push_back({"shards", "shard count must be positive, got " +
                                     std::to_string(shards)});
   } else if (shards > 1) {
-    // The sharded path supports the measurement core (strategies, hooks,
-    // digests); observation layers that assume one engine are rejected
-    // up front rather than silently misbehaving across shard boundaries.
-    const char* why = " is not supported with shards > 1 (single-engine "
-                      "observation layer); run it at --shards 1";
-    if (collect_trace) issues.push_back({"collect_trace", std::string("trace collection") + why});
-    if (profile) issues.push_back({"profile", std::string("energy profiling") + why});
-    if (use_meters) issues.push_back({"use_meters", std::string("the ACPI/Baytech meter protocol") + why});
-    if (telemetry.enabled) issues.push_back({"telemetry", std::string("the telemetry layer") + why});
-    if (faults.active()) issues.push_back({"faults", std::string("fault injection") + why});
-    if (determinism.flight_recorder || determinism.capture() ||
-        determinism.perturb_seq != 0) {
+    // The sharded path carries the full observation stack: every collector
+    // (trace, profile, meters, telemetry, faults, digests, flight recorder)
+    // is instantiated per shard and merged deterministically at run end
+    // (DESIGN.md §3.14).  The one residual single-engine assumption is
+    // focused per-event capture / seq perturbation: dispatch ordinals are
+    // per-shard, so a machine-wide capture window is not definable.
+    if (determinism.capture() || determinism.perturb_seq != 0) {
       issues.push_back({"determinism",
-                        "only the digest tier of determinism observability "
-                        "is supported with shards > 1 (per-event capture and "
-                        "perturbation assume one engine)"});
+                        "focused per-event capture and seq perturbation are "
+                        "not supported with shards > 1 (dispatch ordinals "
+                        "are per-shard); digests and the flight recorder "
+                        "shard fine"});
     }
   }
   return issues;

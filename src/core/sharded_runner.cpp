@@ -1,57 +1,106 @@
 // The sharded run_workload path (DESIGN.md §3.14): drives N ShardedEngine
 // shards through conservative-lookahead windows instead of one Engine.
 //
-// run_workload dispatches here when min(config.shards, workload.ranks) > 1;
-// validate() has already rejected the single-engine observation layers
-// (trace, profile, meters, telemetry, faults, non-digest determinism), so
-// this driver only carries the measurement core: cluster construction,
-// DVS strategies (static / CPUSPEED daemon / phase predictor), INTERNAL
-// hooks, the MPI workload itself, and the digest tier of determinism
-// observability (per-shard digests merged by telemetry::merge_digests).
+// run_workload dispatches here when min(config.shards, workload.ranks) > 1.
+// Every observation layer of the single-engine driver is carried: each
+// shard gets its own collector instances — telemetry hub + sampler, tracer
+// + energy probe, fault injector/checkpoint/watchdogs, ACPI/Baytech meter
+// protocol, digest collector + flight recorder — fed only from the shard's
+// local engine, then merged deterministically at run end in stable
+// (time, shard order, posting order):
+//   - telemetry:   telemetry::merge_snapshots (per-shard parts + one
+//                  driver-side run-level part);
+//   - trace:       trace::Tracer::absorb per rank row + sort_messages;
+//   - faults:      fault::split_plan going in, fault::merge_reports out;
+//   - energy:      per-lane joule terms snapshotted at each shard's end
+//                  time and re-folded in global lane order, reproducing
+//                  NodeStateArena::total_joules()'s addition order;
+//   - digests:     telemetry::merge_digests (per-shard parts kept in
+//                  RunCapture::shard_parts for tools/pcd_diff).
+// The residual single-engine limit is focused per-event capture /
+// perturb_seq (validate() still rejects those at shards > 1): dispatch
+// ordinals are per-shard, so no machine-wide capture window exists.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "machine/partition.hpp"
 #include "mpi/sharded_comm.hpp"
 #include "sim/process.hpp"
 #include "sim/sharded.hpp"
 #include "telemetry/determinism.hpp"
+#include "telemetry/export.hpp"
 
 namespace pcd::core {
 
 namespace {
 
+// Per-lane cumulative joule terms at the cluster's current instant: the
+// exact doubles NodeStateArena::total_joules() folds, captured so the
+// driver can rebuild the machine-wide sum in global lane order even though
+// shards freeze their integrators at different local end times.
+std::vector<double> lane_energy_terms(machine::Cluster& cluster) {
+  cluster.total_energy_joules();  // accrues every lane to the shard clock
+  const auto& arena = cluster.arena();
+  std::vector<double> terms(static_cast<std::size_t>(arena.size()));
+  for (int l = 0; l < arena.size(); ++l) {
+    const double* j = arena.joules(l);
+    terms[static_cast<std::size_t>(l)] = j[0] + j[1] + j[2] + j[3] + j[4];
+  }
+  return terms;
+}
+
 struct ShardDone {
   bool done = false;
   sim::SimTime t_end = 0;
-  double energy_end = 0;
+  std::vector<double> lane_terms;  // per-lane joule sums at t_end
 };
 
-// Per-shard completion watcher: joins the shard's rank processes, snapshots
-// the shard clock/energy at its last completion, then stops the shard's
-// daemons so no later poll advances that shard past the measurement window.
+// Per-shard completion watcher: joins the shard's rank processes and
+// snapshots the shard clock/energy at its last completion.  The shard's
+// services (daemons, sampler, checkpoint sweep, injector) keep running —
+// the single-engine driver stops them at *global* completion, so a shard
+// that finishes early must keep collecting until every shard is done or
+// its observation record would fall short of the 1-shard run's.  The
+// driver runs the stoppers after the barrier loop exits.
 sim::Process shard_watcher(std::vector<sim::Process>& ranks, sim::Engine& engine,
-                           machine::Cluster& cluster,
-                           std::vector<std::function<void()>>& stoppers,
-                           ShardDone* out) {
+                           machine::Cluster& cluster, ShardDone* out) {
   for (auto& p : ranks) co_await p;
+  if (out->done) co_return;  // the driver already aborted this shard
   out->t_end = engine.now();
-  out->energy_end = cluster.total_energy_joules();
-  for (auto& stop : stoppers) stop();
+  out->lane_terms = lane_energy_terms(cluster);
   out->done = true;
 }
+
+// Energy probe behind scope attribution, shard-local: scopes carry
+// machine-wide rank ids, the cluster indexes its own nodes.
+struct ShardProbe final : trace::Tracer::Probe {
+  ShardProbe(machine::Cluster& c, int base) : cluster(&c), rank_base(base) {}
+  machine::Cluster* cluster;
+  int rank_base;
+  trace::Tracer::EnergySample sample(int rank) override {
+    auto& node = cluster->node(rank - rank_base);
+    const auto e = node.power().energy_breakdown();
+    return {e.total(), e.cpu, node.cpu().retired_sensitive_cycles()};
+  }
+};
 
 }  // namespace
 
 RunResult run_workload_sharded(const apps::Workload& workload,
                                const RunConfig& config, int shards) {
   sim::ShardedEngine engines(shards, config.cluster.network.latency);
+  const std::size_t ns = static_cast<std::size_t>(shards);
 
   // Digest-tier determinism: one collector per shard.  The constructor's
   // RNG install covers only this (driver) thread and stacking N of them
@@ -63,7 +112,7 @@ RunResult run_workload_sharded(const apps::Workload& workload,
   // deterministic) interleaving anyway, with no 1-shard identity to hold.
   std::vector<std::unique_ptr<telemetry::DeterminismCollector>> dets;
   if (config.determinism.any()) {
-    dets.reserve(static_cast<std::size_t>(shards));
+    dets.reserve(ns);
     for (int s = 0; s < shards; ++s) {
       dets.push_back(std::make_unique<telemetry::DeterminismCollector>(
           engines.shard(s), config.determinism));
@@ -86,6 +135,72 @@ RunResult run_workload_sharded(const apps::Workload& workload,
             dets[static_cast<std::size_t>(s)]->power_stream(),
             plan.global_of(s, i));
       }
+      // Black box, per shard: same state providers as the single-engine
+      // driver, reading the shard's engine/cluster/digest.
+      telemetry::FlightRecorder* fr = dets[static_cast<std::size_t>(s)]->recorder();
+      if (fr == nullptr) continue;
+      sim::Engine* eng = &engines.shard(s);
+      machine::Cluster* cl = clusters[static_cast<std::size_t>(s)].get();
+      fr->add_state("engine", [eng] {
+        char b[160];
+        std::snprintf(b, sizeof b,
+                      "{\"t_ns\":%llu,\"pending_events\":%zu,"
+                      "\"events_processed\":%zu}",
+                      static_cast<unsigned long long>(eng->now()),
+                      eng->pending_events(), eng->events_processed());
+        return std::string(b);
+      });
+      fr->add_state("rng_draws", [] {
+        return std::to_string(sim::RngTelemetry::draws);
+      });
+      fr->add_state("power", [cl] {
+        char b[64];
+        std::snprintf(b, sizeof b, "{\"total_joules\":%.9f}",
+                      cl->total_energy_joules());
+        return std::string(b);
+      });
+      fr->add_state("digest", [d = dets[static_cast<std::size_t>(s)].get()] {
+        const auto& dg = d->digest();
+        char b[160];
+        std::snprintf(b, sizeof b,
+                      "{\"root\":\"%016llx\",\"events\":%llu,\"rng\":%llu,"
+                      "\"power\":%llu,\"mpi\":%llu}",
+                      static_cast<unsigned long long>(dg.root()),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kEvents].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kRng].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kPower].count),
+                      static_cast<unsigned long long>(
+                          dg.streams[telemetry::RunDigest::kMpi].count));
+        return std::string(b);
+      });
+    }
+  }
+
+  // --- telemetry: one hub per shard, merged at run end ---
+  std::vector<std::unique_ptr<telemetry::Hub>> hubs(ns);
+  if (config.telemetry.enabled) {
+    for (int s = 0; s < shards; ++s) {
+      hubs[static_cast<std::size_t>(s)] = std::make_unique<telemetry::Hub>();
+      clusters[static_cast<std::size_t>(s)]->attach_telemetry(
+          hubs[static_cast<std::size_t>(s)].get());
+    }
+  }
+
+  // --- measurement protocol (paper §4.2), per shard ---
+  if (config.use_meters) {
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      for (int i = 0; i < cluster.size(); ++i) {
+        auto& b = cluster.node(i).battery();
+        b.recharge_full();
+        b.disconnect_ac();
+        b.start_polling();
+      }
+      cluster.baytech().start_polling();
+      engines.shard(s).run_until(engines.shard(s).now() + 300 * sim::kSecond);
     }
   }
 
@@ -97,10 +212,9 @@ RunResult run_workload_sharded(const apps::Workload& workload,
     }
   }
 
-  std::vector<std::unique_ptr<CpuspeedDaemon>> daemons;
-  std::vector<std::unique_ptr<PhasePredictorDaemon>> predictors;
-  std::vector<std::vector<std::function<void()>>> stoppers(
-      static_cast<std::size_t>(shards));
+  std::vector<std::vector<std::unique_ptr<CpuspeedDaemon>>> daemons(ns);
+  std::vector<std::vector<std::unique_ptr<PhasePredictorDaemon>>> predictors(ns);
+  std::vector<std::vector<std::function<void()>>> stoppers(ns);
   if (config.daemon.has_value()) {
     for (int s = 0; s < shards; ++s) {
       auto& cluster = *clusters[static_cast<std::size_t>(s)];
@@ -108,11 +222,12 @@ RunResult run_workload_sharded(const apps::Workload& workload,
       for (int i = 0; i < cluster.size(); ++i) {
         const auto offset = static_cast<sim::SimDuration>(
             stagger_rng.uniform(0.0, config.daemon->interval_s) * 1e9);
-        daemons.push_back(std::make_unique<CpuspeedDaemon>(
-            engines.shard(s), cluster.node(i), *config.daemon, offset));
-        daemons.back()->start();
+        daemons[static_cast<std::size_t>(s)].push_back(
+            std::make_unique<CpuspeedDaemon>(engines.shard(s), cluster.node(i),
+                                             *config.daemon, offset));
+        daemons[static_cast<std::size_t>(s)].back()->start();
         stoppers[static_cast<std::size_t>(s)].push_back(
-            [d = daemons.back().get()] { d->stop(); });
+            [d = daemons[static_cast<std::size_t>(s)].back().get()] { d->stop(); });
       }
     }
   }
@@ -123,12 +238,149 @@ RunResult run_workload_sharded(const apps::Workload& workload,
       for (int i = 0; i < cluster.size(); ++i) {
         const auto offset = static_cast<sim::SimDuration>(
             stagger_rng.uniform(0.0, config.predictor->interval_s) * 1e9);
-        predictors.push_back(std::make_unique<PhasePredictorDaemon>(
-            engines.shard(s), cluster.node(i), *config.predictor, offset));
-        predictors.back()->start();
+        predictors[static_cast<std::size_t>(s)].push_back(
+            std::make_unique<PhasePredictorDaemon>(
+                engines.shard(s), cluster.node(i), *config.predictor, offset));
+        predictors[static_cast<std::size_t>(s)].back()->start();
         stoppers[static_cast<std::size_t>(s)].push_back(
-            [d = predictors.back().get()] { d->stop(); });
+            [d = predictors[static_cast<std::size_t>(s)].back().get()] { d->stop(); });
       }
+    }
+  }
+
+  // --- fault layer, per shard (src/fault) ---
+  //
+  // The machine-wide plan is split along shard boundaries (split_plan):
+  // node-targeted events localize to the owning shard, cluster-wide events
+  // replicate (recording only on shard 0), pick-a-node hazards replicate
+  // with their MTBF scaled to the shard's node share.  Reports merge at
+  // run end; per-shard checkpoint services sweep in lockstep (same
+  // interval, same launch instant), so the merged checkpoint count is the
+  // max, not the sum.
+  const fault::FaultPlan& fplan = config.faults;
+  std::vector<fault::FaultReport> fault_reports(ns);
+  std::vector<std::unique_ptr<fault::CheckpointService>> ckpts(ns);
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors(ns);
+  std::vector<std::unique_ptr<fault::DaemonWatchdog>> watchdogs;
+  double mpi_timeout_s = fplan.resilience.mpi_timeout_s;
+  if (mpi_timeout_s == 0) mpi_timeout_s = fplan.injects() ? 60.0 : -1.0;
+  if (fplan.active()) {
+    auto parts = fault::split_plan(fplan, plan.first);
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      auto& report = fault_reports[static_cast<std::size_t>(s)];
+      if (fplan.resilience.checkpoint_interval_s > 0) {
+        ckpts[static_cast<std::size_t>(s)] = std::make_unique<fault::CheckpointService>(
+            engines.shard(s), cluster, fplan.resilience.checkpoint_interval_s,
+            fplan.resilience.checkpoint_cost_s, &report,
+            hubs[static_cast<std::size_t>(s)].get());
+        stoppers[static_cast<std::size_t>(s)].push_back(
+            [c = ckpts[static_cast<std::size_t>(s)].get()] { c->stop(); });
+      }
+      if (fplan.injects()) {
+        // Every shard gets an injector even when its part is empty:
+        // finalize() folds per-node downtime and dropped-DVS-write counts
+        // into the report, and those must cover the whole machine.
+        injectors[static_cast<std::size_t>(s)] = std::make_unique<fault::FaultInjector>(
+            engines.shard(s), cluster, std::move(parts[static_cast<std::size_t>(s)]),
+            cluster.rng_stream(), &report);
+        auto* inj = injectors[static_cast<std::size_t>(s)].get();
+        inj->attach_telemetry(hubs[static_cast<std::size_t>(s)].get());
+        if (ckpts[static_cast<std::size_t>(s)] != nullptr) {
+          inj->set_checkpoint_service(ckpts[static_cast<std::size_t>(s)].get());
+        }
+        if (!daemons[static_cast<std::size_t>(s)].empty()) {
+          inj->set_daemon_wedger(
+              [ds = &daemons[static_cast<std::size_t>(s)]](int n) {
+                ds->at(static_cast<std::size_t>(n))->stop();
+              });
+        } else if (!predictors[static_cast<std::size_t>(s)].empty()) {
+          inj->set_daemon_wedger(
+              [ds = &predictors[static_cast<std::size_t>(s)]](int n) {
+                ds->at(static_cast<std::size_t>(n))->stop();
+              });
+        }
+        stoppers[static_cast<std::size_t>(s)].push_back([inj] { inj->disarm(); });
+      }
+      if (fplan.resilience.watchdog) {
+        for (int i = 0; i < cluster.size(); ++i) {
+          fault::DaemonHooks hooks;
+          if (!daemons[static_cast<std::size_t>(s)].empty()) {
+            auto* d = daemons[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)].get();
+            hooks.polls = [d] { return d->polls(); };
+            hooks.restart = [d] { d->start(); };
+            hooks.disable = [d] { d->stop(); };
+            hooks.expected_poll_interval_s = config.daemon->interval_s;
+          } else if (!predictors[static_cast<std::size_t>(s)].empty()) {
+            auto* d = predictors[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)].get();
+            hooks.polls = [d] { return d->polls(); };
+            hooks.restart = [d] { d->start(); };
+            hooks.disable = [d] { d->stop(); };
+            hooks.expected_poll_interval_s = config.predictor->interval_s;
+          }
+          watchdogs.push_back(std::make_unique<fault::DaemonWatchdog>(
+              engines.shard(s), cluster.node(i), fplan.resilience.watchdog_params,
+              hooks, &report, hubs[static_cast<std::size_t>(s)].get()));
+          if (!dets.empty()) {
+            watchdogs.back()->set_flight_recorder(
+                dets[static_cast<std::size_t>(s)]->recorder());
+          }
+          watchdogs.back()->start();
+          stoppers[static_cast<std::size_t>(s)].push_back(
+              [w = watchdogs.back().get()] { w->stop(); });
+        }
+      }
+    }
+  }
+
+  // --- trace/profile: one tracer per shard, sized for the machine-wide
+  // rank space (rows are disjoint across shards), bound to the shard's
+  // engine for timestamps; absorbed into one tracer at run end ---
+  std::vector<std::unique_ptr<trace::Tracer>> tracers(ns);
+  std::vector<std::unique_ptr<ShardProbe>> probes(ns);
+  if (config.collect_trace || config.profile) {
+    for (int s = 0; s < shards; ++s) {
+      tracers[static_cast<std::size_t>(s)] =
+          std::make_unique<trace::Tracer>(engines.shard(s), workload.ranks);
+      if (config.profile) {
+        probes[static_cast<std::size_t>(s)] = std::make_unique<ShardProbe>(
+            *clusters[static_cast<std::size_t>(s)],
+            static_cast<int>(plan.first[static_cast<std::size_t>(s)]));
+        tracers[static_cast<std::size_t>(s)]->set_probe(
+            probes[static_cast<std::size_t>(s)].get());
+      }
+    }
+  }
+
+  // Per-shard samplers feed the shard's registry with machine-wide node
+  // labels (node_base); series concatenate in shard order at merge time.
+  std::vector<std::unique_ptr<telemetry::TimeSeriesSampler>> samplers(ns);
+  if (config.telemetry.enabled && config.telemetry.sample) {
+    for (int s = 0; s < shards; ++s) {
+      machine::Cluster* cl = clusters[static_cast<std::size_t>(s)].get();
+      samplers[static_cast<std::size_t>(s)] =
+          std::make_unique<telemetry::TimeSeriesSampler>(
+              engines.shard(s), cl->size(), config.telemetry.sampler,
+              [cl](int i) {
+                auto& node = cl->node(i);
+                const auto bd = node.power().breakdown();
+                telemetry::NodeProbe p;
+                p.freq_mhz = node.cpu().frequency_mhz();
+                p.busy_weighted_ns = node.cpu().busy_weighted_ns();
+                p.watts_cpu = bd.cpu;
+                p.watts_memory = bd.memory;
+                p.watts_disk = bd.disk;
+                p.watts_nic = bd.nic;
+                p.watts_other = bd.other;
+                return p;
+              },
+              &hubs[static_cast<std::size_t>(s)]->registry(),
+              static_cast<int>(plan.first[static_cast<std::size_t>(s)]));
+      samplers[static_cast<std::size_t>(s)]->set_tick_prelude(
+          [cl] { cl->arena().refresh_all(); });
+      samplers[static_cast<std::size_t>(s)]->start();
+      stoppers[static_cast<std::size_t>(s)].push_back(
+          [sm = samplers[static_cast<std::size_t>(s)].get()] { sm->stop(); });
     }
   }
 
@@ -136,53 +388,113 @@ RunResult run_workload_sharded(const apps::Workload& workload,
   cluster_ptrs.reserve(clusters.size());
   for (auto& c : clusters) cluster_ptrs.push_back(c.get());
   mpi::ShardedComm comm(engines, cluster_ptrs, plan);
-  if (!dets.empty()) {
-    for (int s = 0; s < shards; ++s) {
+  for (int s = 0; s < shards; ++s) {
+    if (!dets.empty()) {
       comm.set_digest(s, dets[static_cast<std::size_t>(s)]->mpi_stream());
+    }
+    if (tracers[static_cast<std::size_t>(s)] != nullptr) {
+      comm.set_tracer(s, tracers[static_cast<std::size_t>(s)].get());
     }
   }
 
-  apps::AppContext ctx;
-  ctx.comm = &comm;
-  ctx.hooks = &config.hooks;
-  ctx.slice_s = config.slice_s;
+  // One AppContext per shard: ranks on shard s log scopes (by machine-wide
+  // rank id) into shard s's tracer.
+  std::vector<apps::AppContext> ctxs(ns);
+  for (int s = 0; s < shards; ++s) {
+    ctxs[static_cast<std::size_t>(s)].comm = &comm;
+    ctxs[static_cast<std::size_t>(s)].tracer = tracers[static_cast<std::size_t>(s)].get();
+    ctxs[static_cast<std::size_t>(s)].hooks = &config.hooks;
+    ctxs[static_cast<std::size_t>(s)].slice_s = config.slice_s;
+  }
 
   // --- launch ---
   sim::SimTime t_start = 0;
   for (int s = 0; s < shards; ++s) {
     t_start = std::max(t_start, engines.shard(s).now());
   }
-  std::vector<double> e_start(static_cast<std::size_t>(shards), 0);
+  std::vector<std::vector<double>> e_start(ns);
   for (int s = 0; s < shards; ++s) {
     e_start[static_cast<std::size_t>(s)] =
-        clusters[static_cast<std::size_t>(s)]->total_energy_joules();
+        lane_energy_terms(*clusters[static_cast<std::size_t>(s)]);
+  }
+  std::vector<std::vector<double>> acpi_start(ns), acpi_end(ns);
+  if (config.use_meters) {
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      auto& a0 = acpi_start[static_cast<std::size_t>(s)];
+      auto& a1 = acpi_end[static_cast<std::size_t>(s)];
+      a0.resize(static_cast<std::size_t>(cluster.size()));
+      a1.resize(static_cast<std::size_t>(cluster.size()));
+      for (int i = 0; i < cluster.size(); ++i) {
+        a0[static_cast<std::size_t>(i)] =
+            cluster.node(i).battery().reported_remaining_mwh();
+      }
+      stoppers[static_cast<std::size_t>(s)].push_back([cl = &cluster, pa = &a1] {
+        for (int i = 0; i < cl->size(); ++i) {
+          (*pa)[static_cast<std::size_t>(i)] =
+              cl->node(i).battery().reported_remaining_mwh();
+          cl->node(i).battery().stop_polling();
+        }
+      });
+    }
   }
 
-  std::vector<std::vector<sim::Process>> shard_ranks(
-      static_cast<std::size_t>(shards));
+  // Arm the resilience/injection machinery right at launch so scripted
+  // fault times are relative to the application's start.  Shard clocks are
+  // equal here (all pre-run advances are identical per shard), so the
+  // lockstep-checkpoint assumption behind the merge holds.
+  for (int s = 0; s < shards; ++s) {
+    if (ckpts[static_cast<std::size_t>(s)] != nullptr) {
+      ckpts[static_cast<std::size_t>(s)]->start();
+    }
+    if (injectors[static_cast<std::size_t>(s)] != nullptr) {
+      injectors[static_cast<std::size_t>(s)]->arm();
+    }
+  }
+
+  std::vector<std::vector<sim::Process>> shard_ranks(ns);
   for (int s = 0; s < shards; ++s) {
     shard_ranks[static_cast<std::size_t>(s)].reserve(
         static_cast<std::size_t>(plan.count(s)));
   }
   for (int r = 0; r < workload.ranks; ++r) {
     const int s = plan.shard_of(r);
-    shard_ranks[static_cast<std::size_t>(s)].push_back(
-        sim::spawn(engines.shard(s), workload.make_rank(ctx, r)));
+    shard_ranks[static_cast<std::size_t>(s)].push_back(sim::spawn(
+        engines.shard(s),
+        workload.make_rank(ctxs[static_cast<std::size_t>(s)], r)));
   }
-  std::vector<ShardDone> done(static_cast<std::size_t>(shards));
+  std::vector<ShardDone> done(ns);
   for (int s = 0; s < shards; ++s) {
     sim::spawn(engines.shard(s),
                shard_watcher(shard_ranks[static_cast<std::size_t>(s)],
                              engines.shard(s), *clusters[static_cast<std::size_t>(s)],
-                             stoppers[static_cast<std::size_t>(s)],
                              &done[static_cast<std::size_t>(s)]));
   }
 
-  // --- run windows; cancel/deadline/completion checks at every barrier ---
+  // --- run windows; cancel/deadline/progress/completion checks at every
+  // barrier (the barrier is the sharded stand-in for the single-engine
+  // driver's 200k-event control checks and its MPI progress watchdog —
+  // a pure driver-side read, no event scheduled, no RNG drawn) ---
   bool aborted = false;
   std::string abort_why;
   const auto wall_start = std::chrono::steady_clock::now();
-  auto on_barrier = [&](sim::SimTime) -> bool {
+  auto progress_signature = [&] {
+    std::int64_t work = 0;
+    for (int s = 0; s < shards; ++s) {
+      auto& cluster = *clusters[static_cast<std::size_t>(s)];
+      for (int i = 0; i < cluster.size(); ++i) {
+        work += cluster.node(i).cpu().stats().work_completed;
+      }
+    }
+    std::int64_t done_ranks = 0;
+    for (const auto& procs : shard_ranks) {
+      for (const auto& p : procs) done_ranks += p.done() ? 1 : 0;
+    }
+    return std::tuple{comm.stats().messages, work, done_ranks};
+  };
+  auto last_sig = progress_signature();
+  sim::SimTime last_change = t_start;
+  auto on_barrier = [&](sim::SimTime t) -> bool {
     if (config.cancel != nullptr &&
         config.cancel->load(std::memory_order_relaxed)) {
       aborted = true;
@@ -204,6 +516,23 @@ RunResult run_workload_sharded(const apps::Workload& workload,
         return false;
       }
     }
+    if (mpi_timeout_s > 0) {
+      const auto cur = progress_signature();
+      if (cur != last_sig) {
+        last_sig = cur;
+        last_change = t;
+      } else if (sim::to_seconds(t - last_change) >= mpi_timeout_s) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "MPI progress timeout: no message, work, or rank "
+                      "completion for %.1f s (%lld/%d ranks finished)",
+                      mpi_timeout_s, static_cast<long long>(std::get<2>(cur)),
+                      workload.ranks);
+        aborted = true;
+        abort_why = buf;
+        return false;
+      }
+    }
     for (const auto& d : done) {
       if (!d.done) return true;
     }
@@ -215,34 +544,85 @@ RunResult run_workload_sharded(const apps::Workload& workload,
   bool all_done = true;
   for (const auto& d : done) all_done = all_done && d.done;
   if (!all_done && !aborted) {
-    // Queues drained with ranks still suspended: same condition the
-    // unsharded driver reports as a deadlock (no fault layer here).
-    throw std::runtime_error(
-        "workload deadlocked: no events but ranks unfinished");
+    if (fplan.active()) {
+      // Structured failure: a crashed node left the survivors blocked in
+      // MPI with nothing else scheduled (same condition the single-engine
+      // driver converts into a failed RunResult).
+      aborted = true;
+      abort_why = "cluster deadlocked: ranks blocked in MPI with no events pending";
+    } else {
+      throw std::runtime_error(
+          "workload deadlocked: no events but ranks unfinished");
+    }
   }
   if (aborted) {
     for (int s = 0; s < shards; ++s) {
       auto& d = done[static_cast<std::size_t>(s)];
       if (d.done) continue;
       d.t_end = engines.shard(s).now();
-      d.energy_end = clusters[static_cast<std::size_t>(s)]->total_energy_joules();
-      for (auto& stop : stoppers[static_cast<std::size_t>(s)]) stop();
+      d.lane_terms = lane_energy_terms(*clusters[static_cast<std::size_t>(s)]);
       d.done = true;
     }
+  }
+  // Global completion: stop every shard's services now, mirroring the
+  // single-engine completion watcher (which runs its stoppers when the
+  // *last* rank finishes, not when any one node goes idle).
+  for (int s = 0; s < shards; ++s) {
+    for (auto& stop : stoppers[static_cast<std::size_t>(s)]) stop();
   }
 
   // --- assemble the result ---
   sim::SimTime t_end = t_start;
+  for (const auto& d : done) t_end = std::max(t_end, d.t_end);
   RunResult result;
   result.workload = workload.name;
   result.failed = aborted;
   result.failure = abort_why;
-  for (int s = 0; s < shards; ++s) {
-    const auto& d = done[static_cast<std::size_t>(s)];
-    t_end = std::max(t_end, d.t_end);
-    result.energy_j += d.energy_end - e_start[static_cast<std::size_t>(s)];
-  }
   result.delay_s = sim::to_seconds(t_end - t_start);
+  // Machine-wide energy fold: each total walks every lane in global order
+  // (shards are contiguous node ranges), so the addition order — and the
+  // doubles — match a single arena's total_joules() at the same instants.
+  double e_end_total = 0, e_start_total = 0;
+  for (const auto& d : done) {
+    for (const double v : d.lane_terms) e_end_total += v;
+  }
+  for (const auto& terms : e_start) {
+    for (const double v : terms) e_start_total += v;
+  }
+  result.energy_j = e_end_total - e_start_total;
+
+  if (fplan.active()) {
+    for (auto& inj : injectors) {
+      if (inj != nullptr) inj->finalize();
+    }
+    auto merged = fault::merge_reports(std::move(fault_reports));
+    merged.run_failed = result.failed;
+    merged.failure = result.failure;
+    result.fault_report = std::move(merged);
+  }
+
+  if (config.use_meters) {
+    double acpi_mwh = 0;
+    for (int s = 0; s < shards; ++s) {
+      const auto& a0 = acpi_start[static_cast<std::size_t>(s)];
+      const auto& a1 = acpi_end[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < a0.size(); ++i) acpi_mwh += a0[i] - a1[i];
+    }
+    result.energy_acpi_j = acpi_mwh * 3.6;
+    // The Baytech units report completed one-minute windows; run each shard
+    // past the next report so the window containing t_end is available.
+    // All cross-shard traffic is over (every rank joined), so advancing a
+    // shard alone only drains its local meter events.
+    const sim::SimTime grace = t_end + 61 * sim::kSecond;
+    for (int s = 0; s < shards; ++s) {
+      if (engines.shard(s).now() < grace) engines.shard(s).run_until(grace);
+      result.energy_baytech_j +=
+          clusters[static_cast<std::size_t>(s)]->baytech().estimate_energy_joules(
+              t_start, t_end);
+      clusters[static_cast<std::size_t>(s)]->baytech().stop_polling();
+    }
+  }
+
   for (int s = 0; s < shards; ++s) {
     auto& cluster = *clusters[static_cast<std::size_t>(s)];
     for (int i = 0; i < cluster.size(); ++i) {
@@ -256,16 +636,104 @@ RunResult run_workload_sharded(const apps::Workload& workload,
   result.messages = comm.stats().messages;
   result.events = static_cast<std::int64_t>(run_stats.events);
 
+  // Trace merge: per-rank rows are disjoint (each shard traced only its own
+  // ranks), messages re-sort by send time — the order one engine would have
+  // logged them in.
+  std::optional<trace::Tracer> merged_tracer;
+  if (config.collect_trace || config.profile) {
+    merged_tracer.emplace(engines.shard(0), workload.ranks);
+    for (int s = 0; s < shards; ++s) {
+      merged_tracer->absorb(*tracers[static_cast<std::size_t>(s)]);
+    }
+    merged_tracer->sort_messages();
+    result.profile = trace::analyze(*merged_tracer);
+    result.timeline = trace::render_timeline(*merged_tracer);
+  }
+  if (config.profile && config.profile_analysis && merged_tracer.has_value()) {
+    const auto& table = clusters.front()->node(0).cpu().table();
+    const int profile_mhz =
+        config.static_mhz != 0 ? config.static_mhz : table.highest().freq_mhz;
+    result.profiler = profiler::profile(*merged_tracer, table, profile_mhz,
+                                        result.delay_s, result.energy_j);
+  }
+
   if (!dets.empty()) {
     std::vector<telemetry::RunDigest> parts;
     parts.reserve(dets.size());
-    for (auto& det : dets) {
+    telemetry::RunCapture capture;
+    for (int s = 0; s < shards; ++s) {
+      auto& det = dets[static_cast<std::size_t>(s)];
       parts.push_back(det->take_capture().digest);
+      if (result.failed && det->recorder() != nullptr) {
+        if (!capture.flight_recording.empty()) capture.flight_recording += "\n";
+        capture.flight_recording +=
+            det->recorder()->dump_json(result.failure, engines.shard(s).now());
+      }
       det->detach();
     }
-    telemetry::RunCapture capture;
     capture.digest = telemetry::merge_digests(parts);
+    capture.shard_parts = std::move(parts);
     result.determinism = std::move(capture);
+  }
+
+  if (config.telemetry.enabled) {
+    // Driver-side run-level part: the gauges/counters the single-engine
+    // driver writes into its one hub at run end.
+    telemetry::Hub run_hub;
+    auto& reg = run_hub.registry();
+    reg.set_help("run_delay_seconds", "Wall time from launch to last rank completion");
+    reg.set_help("run_energy_joules", "Exact total system energy over the run window");
+    reg.set_help("mpi_messages_total", "Point-to-point MPI messages delivered");
+    reg.gauge("run_delay_seconds").set(result.delay_s);
+    reg.gauge("run_energy_joules").set(result.energy_j);
+    reg.counter("mpi_messages_total").inc(static_cast<double>(result.messages));
+    if (result.profiler.has_value()) {
+      reg.set_help("profiler_scope_energy_joules",
+                   "Node energy attributed to trace scopes, per rank and category");
+      reg.set_help("profiler_scope_seconds",
+                   "Time attributed to trace scopes, per rank and category");
+      const auto& attr = result.profiler->attribution;
+      for (std::size_t r = 0; r < attr.ranks.size(); ++r) {
+        for (int c = 0; c < 6; ++c) {
+          const auto& cat = attr.ranks[r].by_cat[static_cast<std::size_t>(c)];
+          if (cat.count == 0) continue;
+          const telemetry::Labels labels = {
+              {"rank", std::to_string(r)},
+              {"category", trace::to_string(static_cast<trace::Cat>(c))}};
+          reg.counter("profiler_scope_energy_joules", labels).inc(cat.joules);
+          reg.counter("profiler_scope_seconds", labels).inc(cat.seconds);
+        }
+      }
+    }
+    std::vector<telemetry::TelemetrySnapshot> snap_parts;
+    snap_parts.reserve(ns + 1);
+    // Keep each shard's raw registry for the per-shard provenance views
+    // before the parts are consumed by the merge.
+    std::vector<std::vector<telemetry::MetricSample>> shard_metrics;
+    shard_metrics.reserve(ns);
+    for (int s = 0; s < shards; ++s) {
+      snap_parts.push_back(telemetry::make_snapshot(
+          *hubs[static_cast<std::size_t>(s)],
+          samplers[static_cast<std::size_t>(s)].get()));
+      shard_metrics.push_back(snap_parts.back().metrics);
+    }
+    snap_parts.push_back(telemetry::make_snapshot(run_hub, nullptr));
+    auto snap = telemetry::merge_snapshots(std::move(snap_parts));
+    snap.shard_metrics = std::move(shard_metrics);
+    snap.rank_shards.resize(static_cast<std::size_t>(workload.ranks));
+    for (int r = 0; r < workload.ranks; ++r) {
+      snap.rank_shards[static_cast<std::size_t>(r)] = plan.shard_of(r);
+    }
+    snap.chrome_trace_json = telemetry::to_chrome_json(
+        snap, merged_tracer.has_value() ? &*merged_tracer : nullptr,
+        result.determinism.has_value() ? &*result.determinism : nullptr);
+    if (merged_tracer.has_value()) {
+      snap.chrome_trace_sharded_json = telemetry::to_chrome_json(
+          snap, &*merged_tracer,
+          result.determinism.has_value() ? &*result.determinism : nullptr,
+          &snap.rank_shards);
+    }
+    result.telemetry = std::move(snap);
   }
 
   // Aborted runs leave ranks suspended inside MPI waits; their frames hold

@@ -55,6 +55,7 @@ std::vector<std::unique_ptr<Cluster>> build_shard_clusters(
     ClusterConfig cc = config;
     cc.nodes = plan.count(s);
     cc.seed = shard_seed(config.seed, s);
+    cc.first_node_id = static_cast<int>(plan.first[static_cast<std::size_t>(s)]);
     clusters.push_back(std::make_unique<Cluster>(engines.shard(s), cc));
   }
   return clusters;

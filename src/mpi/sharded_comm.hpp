@@ -69,6 +69,17 @@ class ShardedComm final : public CommBase {
   /// matches and this layer's cross-shard matches both fold into it.
   void set_digest(int shard, sim::DigestStream* digest);
 
+  /// Wires shard `s`'s tracer (sized to the TOTAL rank count, bound to the
+  /// shard's engine): scope records for ranks of shard s, the inner
+  /// transport's message log (src/dst globalized via the plan), and
+  /// cross-shard edges logged receiver-side.  Each shard thread writes
+  /// only its own tracer; the runner absorbs them into one at end of run.
+  void set_tracer(int shard, trace::Tracer* tracer);
+
+  trace::Tracer* tracer_for(int rank) override {
+    return tracers_.at(static_cast<std::size_t>(plan_.shard_of(rank)));
+  }
+
   Request isend(int rank, int dst, int tag, std::int64_t bytes) override;
   Request irecv(int rank, int src = kAnySource, int tag = kAnyTag) override;
 
@@ -89,6 +100,8 @@ class ShardedComm final : public CommBase {
     int dst = 0;
     int tag = 0;
     std::int64_t bytes = 0;
+    sim::SimTime t_send = 0;  // sender-side protocol-entry instant
+    std::int64_t log_seq = -1;  // receiver-tracer message-log index
     sim::SimTime arrival = 0;
     bool rendezvous = false;
     int src_shard = 0;
@@ -126,6 +139,7 @@ class ShardedComm final : public CommBase {
   std::vector<std::unique_ptr<Comm>> inner_;
   std::vector<XMailbox> xmail_;              // indexed by destination rank
   std::vector<sim::DigestStream*> digests_;  // per shard (may be null)
+  std::vector<trace::Tracer*> tracers_;      // per shard (may be null)
   std::vector<CommStats> xstats_;            // per source shard (no sharing)
   sim::SimDuration lookahead_;
 };

@@ -137,6 +137,11 @@ struct RunCapture {
   std::vector<CapturedEvent> events;
   std::unordered_map<std::uint64_t, CapturedEvent> chain;
   std::string flight_recording;
+  /// Per-shard digest parts of a sharded run, in shard order (empty for a
+  /// single-engine run).  `digest` above is merge_digests(shard_parts).
+  /// tools/pcd_diff compares parts pairwise to name the first diverging
+  /// shard before falling back to the merged diff.
+  std::vector<RunDigest> shard_parts;
 };
 
 /// RAII engine instrumentation.  Construct after the Engine and before any

@@ -19,6 +19,7 @@
 #include "sim/process.hpp"
 #include "sim/sharded.hpp"
 #include "telemetry/determinism.hpp"
+#include "telemetry/export.hpp"
 
 namespace pcd {
 namespace {
@@ -286,21 +287,31 @@ TEST(ShardConfig, ValidateRejectsNonPositiveAndSingleEngineLayers) {
   EXPECT_FALSE(cfg.validate().empty());
   EXPECT_THROW(core::RunConfigBuilder(cfg).build(), std::invalid_argument);
 
+  // Every observation layer shards: trace, profile, meters, telemetry,
+  // faults, digests, and the flight recorder are all accepted at shards > 1
+  // (collected per shard, merged deterministically — DESIGN.md §3.14).
   cfg.shards = 2;
   EXPECT_TRUE(cfg.validate().empty());
   cfg.collect_trace = true;
-  EXPECT_FALSE(cfg.validate().empty());
-  cfg.collect_trace = false;
+  cfg.profile = true;
   cfg.use_meters = true;
-  EXPECT_FALSE(cfg.validate().empty());
-  cfg.use_meters = false;
   cfg.telemetry.enabled = true;
-  EXPECT_FALSE(cfg.validate().empty());
-  cfg.telemetry.enabled = false;
+  cfg.faults.events.push_back(fault::node_crash(1.0, 0));
+  cfg.faults.resilience.checkpoint_interval_s = 5.0;
+  cfg.determinism.digest = true;
   cfg.determinism.flight_recorder = true;
+  EXPECT_TRUE(cfg.validate().empty()) << core::describe(cfg.validate());
+
+  // The one residual single-engine assumption: focused per-event capture and
+  // seq perturbation key off machine-wide dispatch ordinals, which a sharded
+  // run does not have.
+  cfg.determinism.capture_begin = 100;
+  cfg.determinism.capture_end = 200;
   EXPECT_FALSE(cfg.validate().empty());
-  cfg.determinism.flight_recorder = false;
-  cfg.determinism.digest = true;  // the digest tier stays allowed
+  cfg.determinism.capture_begin = cfg.determinism.capture_end = 0;
+  cfg.determinism.perturb_seq = 7;
+  EXPECT_FALSE(cfg.validate().empty());
+  cfg.determinism.perturb_seq = 0;
   EXPECT_TRUE(cfg.validate().empty());
 }
 
@@ -413,6 +424,124 @@ TEST(ShardedRunner, CpuspeedDaemonRunsUnderSharding) {
   const auto b = sharded_ft(2, cfg);
   EXPECT_EQ(a.delay_s, b.delay_s);
   EXPECT_EQ(a.determinism->digest.root(), b.determinism->digest.root());
+}
+
+// --- sharded observability ---------------------------------------------------
+
+// Comp-only rank: identical work on every rank and no communication.  The
+// simulation is then bit-identical at every shard count — messages crossing a
+// shard boundary pick up lookahead-quantized timing, which is why the FT
+// tests above compare repeats only at a fixed count.
+sim::Process comp_only_rank(apps::AppContext& ctx, int rank, int steps) {
+  ctx.call(ctx.hooks ? ctx.hooks->at_start : nullptr, rank);
+  for (int s = 0; s < steps; ++s) {
+    if (ctx.tracer != nullptr) ctx.tracer->mark_iteration(rank);
+    co_await apps::compute_phase(ctx, rank, /*onchip_s=*/0.06, /*mem_s=*/0.03);
+  }
+}
+
+apps::Workload make_comp_only(int ranks, int steps) {
+  apps::Workload w;
+  w.name = "comp." + std::to_string(ranks);
+  w.ranks = ranks;
+  w.iterations = steps;
+  w.make_rank = [steps](apps::AppContext& ctx, int rank) {
+    return comp_only_rank(ctx, rank, steps);
+  };
+  return w;
+}
+
+// Pin the DVS transition stall: it is drawn from the node RNG, and shard
+// clusters seed their nodes differently per shard, so a [min, max] interval
+// would make transition-completion timestamps shard-count-dependent.
+void pin_transition_latency(core::RunConfig& cfg) {
+  cfg.cluster.node.cpu.transition_min = sim::from_micros(20.0);
+  cfg.cluster.node.cpu.transition_max = sim::from_micros(20.0);
+}
+
+TEST(ShardedObservability, OutputsAreBitIdenticalAcrossShardCounts) {
+  const auto app = make_comp_only(8, 20);
+  auto run_at = [&](int shards) {
+    core::RunConfig cfg;
+    cfg.shards = shards;
+    cfg.static_mhz = 600;
+    pin_transition_latency(cfg);
+    cfg.telemetry.enabled = true;
+    cfg.profile = true;
+    cfg.determinism.digest = true;
+    // Node-targeted fault in an upper shard plus a cluster-wide one (the
+    // latter is replicated silently to every shard; only shard 0 records).
+    cfg.faults.events.push_back(fault::stuck_dvs(1.0, 5, 2.0));
+    cfg.faults.events.push_back(
+        fault::sensor_dropout(1.5, -1, fault::SensorMode::Stale, 1.0));
+    return core::run_workload(app, cfg);
+  };
+  const auto one = run_at(1);
+  ASSERT_TRUE(one.telemetry.has_value());
+  ASSERT_TRUE(one.fault_report.has_value());
+  ASSERT_TRUE(one.profiler.has_value());
+  for (int shards : {2, 4}) {
+    const auto s = run_at(shards);
+    ASSERT_TRUE(s.telemetry.has_value()) << shards << " shards";
+    // Merged exports carry no shard label/process, so every rendering must
+    // be byte-identical to the single-engine run's.
+    EXPECT_EQ(telemetry::to_prometheus(one.telemetry->metrics),
+              telemetry::to_prometheus(s.telemetry->metrics))
+        << shards << " shards";
+    EXPECT_EQ(one.telemetry->chrome_trace_json, s.telemetry->chrome_trace_json)
+        << shards << " shards";
+    EXPECT_EQ(telemetry::series_csv(*one.telemetry),
+              telemetry::series_csv(*s.telemetry))
+        << shards << " shards";
+    EXPECT_EQ(telemetry::decisions_csv(*one.telemetry),
+              telemetry::decisions_csv(*s.telemetry))
+        << shards << " shards";
+    EXPECT_EQ(telemetry::faults_csv(*one.telemetry),
+              telemetry::faults_csv(*s.telemetry))
+        << shards << " shards";
+    EXPECT_EQ(one.timeline, s.timeline) << shards << " shards";
+    ASSERT_TRUE(s.fault_report.has_value()) << shards << " shards";
+    EXPECT_EQ(one.fault_report->summary(), s.fault_report->summary())
+        << shards << " shards";
+    ASSERT_TRUE(s.profiler.has_value()) << shards << " shards";
+    EXPECT_EQ(one.profiler->attribution.scoped_j, s.profiler->attribution.scoped_j)
+        << shards << " shards";
+    EXPECT_EQ(one.profiler->slack.makespan_s, s.profiler->slack.makespan_s)
+        << shards << " shards";
+    EXPECT_EQ(one.profiler->slack.rank_elastic_s, s.profiler->slack.rank_elastic_s)
+        << shards << " shards";
+    // Per-shard provenance views exist only on the sharded run, and the
+    // per-shard Prometheus view is the only place the shard label appears.
+    EXPECT_EQ(static_cast<int>(s.telemetry->shard_metrics.size()), shards);
+    EXPECT_TRUE(one.telemetry->shard_metrics.empty());
+    const auto per_shard = telemetry::to_prometheus_sharded(*s.telemetry);
+    EXPECT_NE(per_shard.find("shard=\"0\""), std::string::npos);
+    EXPECT_EQ(telemetry::to_prometheus(one.telemetry->metrics).find("shard=\""),
+              std::string::npos);
+  }
+}
+
+TEST(ShardedObservability, CrashInAnUpperShardMatchesTheSingleEngineFaultReport) {
+  const auto app = make_comp_only(8, 20);
+  auto run_at = [&](int shards) {
+    core::RunConfig cfg;
+    cfg.shards = shards;
+    cfg.static_mhz = 600;
+    pin_transition_latency(cfg);
+    // Crash node 5 — shard 2's second node under contiguous(8, 4) — with
+    // coordinated checkpoint/restart armed.
+    cfg.faults.events.push_back(fault::node_crash(2.3, 5, /*boot_delay_s=*/5.0));
+    cfg.faults.resilience.checkpoint_interval_s = 1.7;
+    cfg.faults.resilience.checkpoint_cost_s = 0.2;
+    return core::run_workload(app, cfg);
+  };
+  const auto one = run_at(1);
+  const auto four = run_at(4);
+  ASSERT_TRUE(one.fault_report.has_value());
+  ASSERT_TRUE(four.fault_report.has_value());
+  EXPECT_FALSE(four.failed) << four.failure;
+  EXPECT_EQ(one.fault_report->node_reboots, 1);
+  EXPECT_EQ(one.fault_report->summary(), four.fault_report->summary());
 }
 
 TEST(ShardedRunner, CampaignFingerprintIsReproducibleWithShardsInTheBase) {
